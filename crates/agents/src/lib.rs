@@ -1,0 +1,30 @@
+//! # trustex-agents — behavioural models of community members
+//!
+//! Synthetic agents standing in for the human participants of the online
+//! communities *Trust-Aware Cooperation* targets (eBay traders, P2P file
+//! sharers, mobile teamworkers). Each agent has:
+//!
+//! * an [`behavior::ExchangeBehavior`] — honest, rational-with-stake,
+//!   stochastic cheater, or exit scammer — adapted per exchange into the
+//!   execution engine's `DefectionOracle`;
+//! * a [`reporting::ReportingBehavior`] — truthful, lying, slanderous or
+//!   silent — governing what reaches the reputation system;
+//! * ground-truth labels (true cooperation probability) so experiments
+//!   can score trust models against reality.
+//!
+//! [`profile::PopulationMix`] samples whole communities deterministically
+//! for the experiment suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod profile;
+pub mod reporting;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::behavior::{BehaviorOracle, ExchangeBehavior};
+    pub use crate::profile::{AgentProfile, PopulationMix};
+    pub use crate::reporting::ReportingBehavior;
+}

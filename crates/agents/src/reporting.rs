@@ -1,0 +1,139 @@
+//! Reporting behaviours: how community members feed the reputation
+//! system *after* an exchange.
+//!
+//! Honest reputation data is what makes trust-aware exchange work; lying
+//! reporters are the primary attack on it. The market simulation calls
+//! [`ReportingBehavior::report`] with the true observed conduct and
+//! publishes whatever comes back.
+
+use serde::{Deserialize, Serialize};
+use trustex_netsim::rng::SimRng;
+use trustex_trust::model::Conduct;
+
+/// How an agent reports interaction outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReportingBehavior {
+    /// Reports the truth.
+    Truthful,
+    /// Always reports the opposite of what happened.
+    Liar,
+    /// Reports truthfully about honest partners but also files
+    /// unprovoked false complaints against random victims with the given
+    /// per-round probability.
+    Slanderer {
+        /// Probability of filing a fake complaint each round.
+        slander_prob: f64,
+    },
+    /// Never reports anything (free rider on the reputation system).
+    Silent,
+}
+
+impl ReportingBehavior {
+    /// Shapes a true observation into what the agent actually reports;
+    /// `None` means no report is filed.
+    pub fn report(self, truth: Conduct) -> Option<Conduct> {
+        match self {
+            ReportingBehavior::Truthful => Some(truth),
+            ReportingBehavior::Liar => Some(truth.inverted()),
+            ReportingBehavior::Slanderer { .. } => Some(truth),
+            ReportingBehavior::Silent => None,
+        }
+    }
+
+    /// Whether the agent files an unprovoked slander complaint this round.
+    pub fn slanders_now(self, rng: &mut SimRng) -> bool {
+        match self {
+            ReportingBehavior::Slanderer { slander_prob } => rng.chance(slander_prob),
+            _ => false,
+        }
+    }
+
+    /// Whether reports from this behaviour are truthful.
+    pub fn is_truthful(self) -> bool {
+        matches!(
+            self,
+            ReportingBehavior::Truthful | ReportingBehavior::Slanderer { .. }
+        )
+    }
+
+    /// Stable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReportingBehavior::Truthful => "truthful",
+            ReportingBehavior::Liar => "liar",
+            ReportingBehavior::Slanderer { .. } => "slanderer",
+            ReportingBehavior::Silent => "silent",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthful_passes_through() {
+        assert_eq!(
+            ReportingBehavior::Truthful.report(Conduct::Honest),
+            Some(Conduct::Honest)
+        );
+        assert_eq!(
+            ReportingBehavior::Truthful.report(Conduct::Dishonest),
+            Some(Conduct::Dishonest)
+        );
+    }
+
+    #[test]
+    fn liar_inverts() {
+        assert_eq!(
+            ReportingBehavior::Liar.report(Conduct::Honest),
+            Some(Conduct::Dishonest)
+        );
+        assert_eq!(
+            ReportingBehavior::Liar.report(Conduct::Dishonest),
+            Some(Conduct::Honest)
+        );
+    }
+
+    #[test]
+    fn silent_reports_nothing() {
+        assert_eq!(ReportingBehavior::Silent.report(Conduct::Honest), None);
+    }
+
+    #[test]
+    fn slanderer_reports_truth_but_slanders() {
+        let s = ReportingBehavior::Slanderer { slander_prob: 1.0 };
+        assert_eq!(s.report(Conduct::Dishonest), Some(Conduct::Dishonest));
+        let mut rng = SimRng::new(1);
+        assert!(s.slanders_now(&mut rng));
+        assert!(!ReportingBehavior::Truthful.slanders_now(&mut rng));
+    }
+
+    #[test]
+    fn slander_rate() {
+        let s = ReportingBehavior::Slanderer { slander_prob: 0.25 };
+        let mut rng = SimRng::new(2);
+        let hits = (0..10_000).filter(|_| s.slanders_now(&mut rng)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "{rate}");
+    }
+
+    #[test]
+    fn truthfulness_classification() {
+        assert!(ReportingBehavior::Truthful.is_truthful());
+        assert!(ReportingBehavior::Slanderer { slander_prob: 0.1 }.is_truthful());
+        assert!(!ReportingBehavior::Liar.is_truthful());
+        assert!(!ReportingBehavior::Silent.is_truthful());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ReportingBehavior::Truthful.label(), "truthful");
+        assert_eq!(ReportingBehavior::Liar.label(), "liar");
+        assert_eq!(
+            ReportingBehavior::Slanderer { slander_prob: 0.1 }.label(),
+            "slanderer"
+        );
+        assert_eq!(ReportingBehavior::Silent.label(), "silent");
+    }
+}

@@ -1,0 +1,16 @@
+//! E0 bench: the full reference-model pipeline at smoke scale — an
+//! end-to-end regression guard for the whole stack's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trustex_market::experiments::{e0_pipeline, Scale};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e0/pipeline");
+    group.sample_size(10);
+    group.bench_function("smoke", |b| b.iter(|| black_box(e0_pipeline(Scale::Smoke))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

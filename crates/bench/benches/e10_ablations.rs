@@ -1,0 +1,33 @@
+//! E10 bench: payment-policy ablation at the single-schedule level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_core::policy::PaymentPolicy;
+use trustex_core::safety::SafetyMargins;
+use trustex_core::scheduler::{schedule, Algorithm};
+use trustex_market::workload::Workload;
+use trustex_netsim::rng::SimRng;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10/payment_policy");
+    let mut rng = SimRng::new(14);
+    let deal = Workload::FileSharing.generate_deal(&mut rng);
+    let margins = SafetyMargins::symmetric(deal.goods().total_surplus()).expect("non-negative");
+    for policy in PaymentPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(
+                        schedule(&deal, margins, policy, Algorithm::Greedy).expect("feasible"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

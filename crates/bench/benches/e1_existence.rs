@@ -1,0 +1,42 @@
+//! E1 bench: cost of deciding safe-sequence existence and computing the
+//! minimal required margin across valuation shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_core::curves::{generate, CurveParams, CurveShape};
+use trustex_core::scheduler::min_required_margin;
+use trustex_market::experiments::{e1_existence, Scale};
+use trustex_netsim::rng::SimRng;
+
+fn bench_min_margin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/min_required_margin");
+    let mut rng = SimRng::new(1);
+    for shape in CurveShape::ALL {
+        let mut draw = || rng.f64();
+        let goods = generate(
+            shape,
+            CurveParams {
+                n_items: 32,
+                ..CurveParams::default()
+            },
+            &mut draw,
+        )
+        .expect("non-empty");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.label()),
+            &goods,
+            |b, goods| b.iter(|| black_box(min_required_margin(goods))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/table");
+    group.sample_size(10);
+    group.bench_function("smoke", |b| b.iter(|| black_box(e1_existence(Scale::Smoke))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_margin, bench_full_table);
+criterion_main!(benches);

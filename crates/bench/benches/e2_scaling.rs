@@ -1,0 +1,73 @@
+//! E2 bench: scheduler runtime scaling — the quadratic Sandholm-style
+//! construction vs the `O(n log n)` greedy, across instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use trustex_core::goods::Goods;
+use trustex_core::money::Money;
+use trustex_core::safety::SafetyMargins;
+use trustex_core::scheduler::{greedy_order, sandholm_order, subset_dp_order};
+use trustex_netsim::rng::SimRng;
+
+fn instance(n: usize, seed: u64) -> Goods {
+    let mut rng = SimRng::new(seed);
+    Goods::new(
+        (0..n)
+            .map(|_| {
+                (
+                    Money::from_f64(rng.range_f64(0.5, 20.0)),
+                    Money::from_f64(rng.range_f64(0.5, 30.0)),
+                )
+            })
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+fn wide_margins(goods: &Goods) -> SafetyMargins {
+    SafetyMargins::new(
+        goods.total_supplier_cost() + goods.total_consumer_value(),
+        Money::ZERO,
+    )
+    .expect("non-negative")
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/greedy");
+    for n in [16usize, 64, 256, 1024, 4096] {
+        let goods = instance(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &goods, |b, g| {
+            b.iter(|| black_box(greedy_order(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sandholm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/sandholm");
+    for n in [16usize, 64, 256, 1024] {
+        let goods = instance(n, 3);
+        let margins = wide_margins(&goods);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &goods, |b, g| {
+            b.iter(|| black_box(sandholm_order(g, margins).expect("feasible")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/subset_dp");
+    for n in [8usize, 12, 16, 20] {
+        let goods = instance(n, 4);
+        let margins = wide_margins(&goods);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &goods, |b, g| {
+            b.iter(|| black_box(subset_dp_order(g, margins).expect("size ok")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_sandholm, bench_subset_dp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 bench: full scheduling (order + payments + verification) under
+//! trust-aware margins, per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_core::policy::PaymentPolicy;
+use trustex_core::safety::SafetyMargins;
+use trustex_core::scheduler::{schedule, Algorithm};
+use trustex_market::workload::Workload;
+use trustex_netsim::rng::SimRng;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/schedule_verified");
+    for w in Workload::ALL {
+        let mut rng = SimRng::new(5);
+        let deal = w.generate_deal(&mut rng);
+        let margins =
+            SafetyMargins::symmetric(deal.goods().total_surplus()).expect("non-negative");
+        group.bench_with_input(BenchmarkId::from_parameter(w.label()), &deal, |b, deal| {
+            b.iter(|| {
+                black_box(
+                    schedule(deal, margins, PaymentPolicy::Lazy, Algorithm::Greedy)
+                        .expect("feasible at surplus-wide margins"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

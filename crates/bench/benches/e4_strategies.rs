@@ -1,0 +1,35 @@
+//! E4 bench: one market round per strategy (the cost of the strategy
+//! comparison experiment's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_market::prelude::*;
+use trustex_market::sim::MarketConfig;
+
+fn bench_market_per_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/market_run");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let cfg = MarketConfig {
+                        n_agents: 30,
+                        rounds: 3,
+                        sessions_per_round: 30,
+                        strategy,
+                        workload: Workload::FileSharing,
+                        ..MarketConfig::default()
+                    };
+                    black_box(MarketSim::new(cfg).run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_market_per_strategy);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E5 bench: trust-model update and prediction costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_trust::baselines::{EwmaTrust, MeanTrust};
+use trustex_trust::beta::BetaTrust;
+use trustex_trust::complaints::ComplaintTrust;
+use trustex_trust::model::{Conduct, PeerId, TrustModel};
+
+fn loaded<M: TrustModel>(mut model: M) -> M {
+    for subject in 0..100u32 {
+        for round in 0..20u64 {
+            model.record_direct(
+                PeerId(subject),
+                Conduct::from_honest(subject % 3 != 0),
+                round,
+            );
+        }
+    }
+    model
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/record_direct");
+    group.bench_function("beta", |b| {
+        let mut m = loaded(BetaTrust::new());
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            m.record_direct(PeerId(7), Conduct::Honest, round);
+        })
+    });
+    group.bench_function("complaints", |b| {
+        let mut m = loaded(ComplaintTrust::new());
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            m.record_direct(PeerId(7), Conduct::Dishonest, round);
+        })
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/predict");
+    let beta = loaded(BetaTrust::new());
+    let complaints = loaded(ComplaintTrust::new());
+    let mean = loaded(MeanTrust::new());
+    let ewma = loaded(EwmaTrust::default());
+    let subjects: Vec<PeerId> = (0..100u32).map(PeerId).collect();
+    for (label, model) in [
+        ("beta", &beta as &dyn TrustModel),
+        ("complaints", &complaints),
+        ("mean", &mean),
+        ("ewma", &ewma),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, model| {
+            b.iter(|| {
+                for s in &subjects {
+                    black_box(model.predict(*s));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E6 bench: P-Grid construction and query routing across network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_netsim::net::{NetConfig, Network};
+use trustex_netsim::rng::SimRng;
+use trustex_reputation::pgrid::{PGrid, PGridConfig};
+use trustex_reputation::record::key_for_peer;
+use trustex_trust::model::PeerId;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/build");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = SimRng::new(9);
+                black_box(PGrid::build(n, PGridConfig::for_population(n, 4), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/query");
+    for n in [64usize, 256, 1024] {
+        let mut rng = SimRng::new(10);
+        let grid = PGrid::build(n, PGridConfig::for_population(n, 4), &mut rng);
+        let mut net = Network::new(NetConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &grid, |b, grid| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let key = key_for_peer(PeerId(i), grid.config().key_bits);
+                black_box(grid.query((i as usize) % grid.len(), key, None, &mut net, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

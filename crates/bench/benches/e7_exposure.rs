@@ -1,0 +1,37 @@
+//! E7 bench: the decision pipeline — exposure bounds and full bilateral
+//! planning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trustex_core::money::Money;
+use trustex_core::policy::PaymentPolicy;
+use trustex_decision::engage::EngagementRule;
+use trustex_decision::exposure::{exposure_bound, ExposurePolicy};
+use trustex_decision::negotiate::{plan_exchange, PartyInputs};
+use trustex_market::workload::Workload;
+use trustex_netsim::rng::SimRng;
+use trustex_trust::model::TrustEstimate;
+
+fn bench_exposure_bound(c: &mut Criterion) {
+    let policy = ExposurePolicy::with_cap(Money::from_units(1_000));
+    let est = TrustEstimate::new(0.9, 0.8);
+    c.bench_function("e7/exposure_bound", |b| {
+        b.iter(|| black_box(exposure_bound(est, Money::from_units(100), policy)))
+    });
+}
+
+fn bench_plan_exchange(c: &mut Criterion) {
+    let mut rng = SimRng::new(11);
+    let deal = Workload::Ebay.generate_deal(&mut rng);
+    let inputs = PartyInputs {
+        trust_in_opponent: TrustEstimate::new(0.95, 0.9),
+        exposure: ExposurePolicy::with_cap(deal.price()),
+        engagement: EngagementRule::default(),
+    };
+    c.bench_function("e7/plan_exchange", |b| {
+        b.iter(|| black_box(plan_exchange(&deal, inputs, inputs, PaymentPolicy::Lazy)))
+    });
+}
+
+criterion_group!(benches, bench_exposure_bound, bench_plan_exchange);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 bench: a complete exchange session (plan + execute) per workload —
+//! the inner loop of the marketplace experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_core::deal::Deal;
+use trustex_core::execute::{execute, Honest};
+use trustex_core::policy::PaymentPolicy;
+use trustex_market::prelude::*;
+use trustex_netsim::rng::SimRng;
+use trustex_trust::model::TrustEstimate;
+
+/// First deal of the workload stream that trusted parties can trade —
+/// some teamwork bundles need more margin than even high trust grants,
+/// and the bench needs uniform per-iteration work anyway.
+fn tradeable_deal(w: Workload, trusted: TrustEstimate) -> Deal {
+    let mut rng = SimRng::new(12);
+    loop {
+        let deal = w.generate_deal(&mut rng);
+        if plan(Strategy::TrustAware, &deal, trusted, trusted, PaymentPolicy::Lazy).is_ok() {
+            return deal;
+        }
+    }
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/session");
+    let trusted = TrustEstimate::new(0.95, 0.9);
+    for w in Workload::ALL {
+        let deal = tradeable_deal(w, trusted);
+        group.bench_with_input(BenchmarkId::from_parameter(w.label()), &deal, |b, deal| {
+            b.iter(|| {
+                let seq = plan(
+                    Strategy::TrustAware,
+                    deal,
+                    trusted,
+                    trusted,
+                    PaymentPolicy::Lazy,
+                )
+                .expect("pre-selected tradeable deal");
+                black_box(execute(deal, &seq, &mut Honest, &mut Honest))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E9 bench: cost of the O(n²) trust-metric sweep used by the
+//! convergence experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_agents::profile::PopulationMix;
+use trustex_market::metrics::{rank_accuracy, trust_mae};
+use trustex_market::population::{Community, ModelKind};
+use trustex_netsim::rng::SimRng;
+use trustex_trust::model::{Conduct, PeerId};
+
+fn educated_community(n: usize) -> Community {
+    let mut rng = SimRng::new(13);
+    let mut c = Community::new(
+        n,
+        &PopulationMix::standard(0.3, 0.0),
+        ModelKind::Beta,
+        &mut rng,
+    );
+    let ids: Vec<PeerId> = c.agent_ids().collect();
+    for &e in &ids {
+        for &s in &ids {
+            if e != s {
+                c.record_direct(e, s, Conduct::from_honest(c.is_honest(s)), 0);
+            }
+        }
+    }
+    c
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/metrics");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let community = educated_community(n);
+        group.bench_with_input(
+            BenchmarkId::new("trust_mae", n),
+            &community,
+            |b, community| b.iter(|| black_box(trust_mae(community))),
+        );
+    }
+    let community = educated_community(50);
+    group.bench_function("rank_accuracy/50", |b| {
+        b.iter(|| black_box(rank_accuracy(&community)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates every table and figure of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p trustex-bench --bin repro            # all, paper scale
+//! cargo run --release -p trustex-bench --bin repro -- --smoke # all, smoke scale
+//! cargo run --release -p trustex-bench --bin repro -- e4 e6   # a subset
+//! ```
+
+use std::time::Instant;
+use trustex_market::experiments::{find, Scale, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale = if smoke { Scale::Smoke } else { Scale::Paper };
+
+    let selected: Vec<_> = if ids.is_empty() {
+        ALL.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                find(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id}");
+                    eprintln!(
+                        "known ids: {}",
+                        ALL.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    println!(
+        "# trustex experiment reproduction ({} scale)\n",
+        if smoke { "smoke" } else { "paper" }
+    );
+    for experiment in selected {
+        let start = Instant::now();
+        let table = (experiment.run)(scale);
+        let elapsed = start.elapsed();
+        println!("[{}] {} ({elapsed:.2?})", experiment.id, experiment.title);
+        println!("{}", table.render());
+    }
+}

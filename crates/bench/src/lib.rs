@@ -1,0 +1,34 @@
+//! # trustex-bench — benchmarks and experiment reproduction
+//!
+//! This crate carries:
+//!
+//! * the `repro` binary — regenerates every table/figure of
+//!   `EXPERIMENTS.md` (`cargo run --release -p trustex-bench --bin repro`),
+//!   optionally a single experiment by id (`… -- e4`) and at smoke scale
+//!   (`… -- --smoke`);
+//! * one Criterion bench per experiment (`benches/e*.rs`) measuring the
+//!   experiment's characteristic operation.
+//!
+//! The library portion only re-exports a tiny helper shared by the
+//! benches.
+
+pub use trustex_market::experiments::{find, Scale, ALL};
+pub use trustex_market::table::Table;
+
+/// Renders a table with a trailing blank line (the repro output format).
+pub fn render_block(table: &Table) -> String {
+    let mut s = table.render();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_block_appends_newline() {
+        let t = Table::new("x", &["a"]);
+        assert!(render_block(&t).ends_with("\n\n"));
+    }
+}

@@ -1,0 +1,746 @@
+//! Exchange schedulers: the paper's quadratic algorithm, an optimal
+//! `O(n log n)` greedy, and an exponential-space ground truth.
+//!
+//! # Theory
+//!
+//! Fix a delivery order `x₁ … xₙ`. Because payments are arbitrarily
+//! divisible and irreversible, the order admits a (relaxed-)safe payment
+//! interleaving **iff** for every position `j`
+//!
+//! ```text
+//!   req(j)  :=  Vs(x_j) − Σ_{i>j} s(x_i)   ≤   ε           (†)
+//! ```
+//!
+//! where `s(x) = Vc(x) − Vs(x)` is the item's surplus and
+//! `ε = ε_s + ε_c` is the total window widening of
+//! [`SafetyMargins`]. Intuition: when item `x_j` is handed over, the only
+//! collateral keeping both parties honest is the surplus still to come;
+//! the supplier's remaining production cost `Vs(x_j)` may exceed it by at
+//! most the tolerated exposure.
+//!
+//! *Proof sketch (⇐).* Pay before each delivery down to
+//! `min(R, U_next)`; (†) guarantees the admissible range is non-empty and
+//! the invariants `L ≤ R ≤ U` are restored after every atomic action.
+//! *(⇒)* At the moment `x_j` is delivered the window must contain the
+//! outstanding `R`, which forces (†). ∎
+//!
+//! With `ε = 0` and `j = n`, (†) reads `Vs(xₙ) ≤ 0`: **an isolated
+//! exchange with strictly positive delivery costs admits no fully safe
+//! sequence** — the impossibility the paper cites from Sandholm, and the
+//! reason reputation/trust must widen the window.
+//!
+//! # The three implementations
+//!
+//! * [`greedy_order`] — sorts negative-surplus items by ascending `Vc`,
+//!   then positive-surplus items by descending `Vs`. An adjacent-exchange
+//!   argument (see `min_required_margin`) shows this order minimises
+//!   `max_j req(j)` — *simultaneously for every ε* — so it is feasible
+//!   whenever any order is. `O(n log n)`.
+//! * [`sandholm_order`] — the quadratic step-by-step construction in the
+//!   style of the algorithm the paper cites: build the order from the
+//!   **last** delivery backwards, at each step scanning all remaining
+//!   items for the best placeable one. `O(n²)`, margin-dependent,
+//!   derived independently from the reverse formulation
+//!   `Vs(x) ≤ ε + s(placed-later set)`.
+//! * [`subset_dp_order`] — exact feasibility by dynamic programming over
+//!   item subsets (`O(2ⁿ·n)`), used as ground truth in tests.
+
+use crate::deal::Deal;
+use crate::goods::{Goods, ItemId};
+use crate::money::Money;
+use crate::policy::PaymentPolicy;
+use crate::safety::SafetyMargins;
+use crate::sequence::{verify, Action, ExchangeSequence, VerifiedSequence};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which scheduling algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Optimal `O(n log n)` sort (default).
+    #[default]
+    Greedy,
+    /// Quadratic stepwise construction (paper-style).
+    Sandholm,
+    /// Exponential subset DP (ground truth; ≤ [`SUBSET_DP_MAX_ITEMS`] items).
+    SubsetDp,
+}
+
+impl Algorithm {
+    /// All algorithms, for cross-validation sweeps.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Greedy, Algorithm::Sandholm, Algorithm::SubsetDp];
+
+    /// Stable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Greedy => "greedy",
+            Algorithm::Sandholm => "sandholm",
+            Algorithm::SubsetDp => "subset-dp",
+        }
+    }
+}
+
+/// Largest item count accepted by [`subset_dp_order`].
+pub const SUBSET_DP_MAX_ITEMS: usize = 24;
+
+/// Error from the schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No delivery order satisfies the margins; `required` is the
+    /// smallest total margin `ε_s + ε_c` that would make the deal
+    /// schedulable, `available` is what the parties granted.
+    Infeasible {
+        /// Minimal total margin for which a sequence exists.
+        required: Money,
+        /// The margin that was available (`ε_s + ε_c`).
+        available: Money,
+    },
+    /// The subset-DP ground truth refuses instances beyond
+    /// [`SUBSET_DP_MAX_ITEMS`] items.
+    TooManyItems {
+        /// Items in the deal.
+        n_items: usize,
+        /// The hard limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Infeasible {
+                required,
+                available,
+            } => write!(
+                f,
+                "no feasible exchange sequence: requires total margin {required}, available {available}"
+            ),
+            ScheduleError::TooManyItems { n_items, limit } => {
+                write!(f, "subset DP limited to {limit} items, got {n_items}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The greedy delivery order: negative-surplus items first (ascending
+/// `Vc`), then positive-surplus items (descending `Vs`). Ties break by
+/// item id so the order is deterministic.
+///
+/// This order minimises `max_j req(j)` over all orders (see module docs),
+/// independent of the margins.
+pub fn greedy_order(goods: &Goods) -> Vec<ItemId> {
+    let mut helpers: Vec<ItemId> = Vec::new(); // s(x) ≤ 0
+    let mut burdens: Vec<ItemId> = Vec::new(); // s(x) > 0
+    for item in goods.iter() {
+        if item.surplus().is_positive() {
+            burdens.push(item.id());
+        } else {
+            helpers.push(item.id());
+        }
+    }
+    helpers.sort_by_key(|id| (goods.item(*id).consumer_value(), *id));
+    burdens.sort_by(|a, b| {
+        goods
+            .item(*b)
+            .supplier_cost()
+            .cmp(&goods.item(*a).supplier_cost())
+            .then(a.cmp(b))
+    });
+    helpers.extend(burdens);
+    helpers
+}
+
+/// The per-position requirement profile of a delivery order:
+/// `req(j) = Vs(x_j) − Σ_{i>j} s(x_i)` for each position `j` (0-based).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the goods' item ids (checked
+/// via length and per-item lookup).
+pub fn requirement_profile(goods: &Goods, order: &[ItemId]) -> Vec<Money> {
+    assert_eq!(order.len(), goods.len(), "order must cover all items");
+    // Suffix surpluses: suffix[j] = Σ_{i>j} s(x_i).
+    let mut suffix = Money::ZERO;
+    let mut reqs = vec![Money::ZERO; order.len()];
+    for j in (0..order.len()).rev() {
+        let item = goods.item(order[j]);
+        reqs[j] = item.supplier_cost() - suffix;
+        suffix += item.surplus();
+    }
+    reqs
+}
+
+/// The margin a given delivery order requires:
+/// `max(0, max_j req(j))`.
+pub fn required_margin_of_order(goods: &Goods, order: &[ItemId]) -> Money {
+    requirement_profile(goods, order)
+        .into_iter()
+        .fold(Money::ZERO, Money::max)
+}
+
+/// The minimal total margin `ε_s + ε_c` for which *any* feasible delivery
+/// order exists — evaluated on the greedy order, which is minimax-optimal.
+///
+/// A fully safe exchange exists iff this is zero.
+///
+/// # Examples
+///
+/// ```
+/// use trustex_core::goods::Goods;
+/// use trustex_core::money::Money;
+/// use trustex_core::scheduler::min_required_margin;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Single item with positive cost: isolated safe exchange impossible —
+/// // the required margin equals the cost of the last delivery.
+/// let goods = Goods::from_f64_pairs(&[(3.0, 10.0)])?;
+/// assert_eq!(min_required_margin(&goods), Money::from_units(3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_required_margin(goods: &Goods) -> Money {
+    required_margin_of_order(goods, &greedy_order(goods))
+}
+
+/// Whether the goods admit any delivery order under the given margins.
+pub fn feasible(goods: &Goods, margins: SafetyMargins) -> bool {
+    min_required_margin(goods) <= margins.total()
+}
+
+/// Paper-style quadratic construction: chooses deliveries from the last
+/// position backwards. An item `x` is *placeable* at the current last
+/// free position when `Vs(x) ≤ ε + s(W)`, `W` being the set already
+/// placed after it. Among placeable items the rule prefers
+/// positive-surplus items with minimal `Vs` (they enlarge the collateral
+/// for everything placed earlier); once no positive-surplus item remains,
+/// negative-surplus items with maximal `Vc`.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when at some step nothing is placeable.
+pub fn sandholm_order(
+    goods: &Goods,
+    margins: SafetyMargins,
+) -> Result<Vec<ItemId>, ScheduleError> {
+    let eps = margins.total();
+    let mut remaining: Vec<ItemId> = goods.ids().collect();
+    let mut placed_surplus = Money::ZERO; // s(W)
+    let mut reversed: Vec<ItemId> = Vec::with_capacity(goods.len());
+
+    while !remaining.is_empty() {
+        let budget = eps + placed_surplus;
+        // Scan remaining items for the best placeable candidate: O(n) per
+        // step, O(n²) total — the complexity the paper quotes.
+        let mut best: Option<(usize, ItemId)> = None;
+        let mut any_positive_left = false;
+        for (pos, &id) in remaining.iter().enumerate() {
+            let item = goods.item(id);
+            if item.surplus().is_positive() {
+                any_positive_left = true;
+            }
+            if item.supplier_cost() > budget {
+                continue; // not placeable
+            }
+            let better = match best {
+                None => true,
+                Some((_, cur)) => {
+                    let c = goods.item(cur);
+                    let cand_pos_surplus = item.surplus().is_positive();
+                    let cur_pos_surplus = c.surplus().is_positive();
+                    match (cand_pos_surplus, cur_pos_surplus) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        (true, true) => {
+                            // Prefer smaller Vs (keeps cheap tail deliveries).
+                            (item.supplier_cost(), id) < (c.supplier_cost(), cur)
+                        }
+                        (false, false) => {
+                            // Prefer larger Vc (big-value items late).
+                            (item.consumer_value(), std::cmp::Reverse(id))
+                                > (c.consumer_value(), std::cmp::Reverse(cur))
+                        }
+                    }
+                }
+            };
+            if better {
+                best = Some((pos, id));
+            }
+        }
+        // A positive-surplus item must be placed while positive-surplus
+        // items remain: placing a negative-surplus item first shrinks the
+        // budget and can never help. If the best candidate is negative-
+        // surplus while positives are still pending, the positives are
+        // unplaceable now and forever.
+        match best {
+            Some((pos, id))
+                if !any_positive_left || goods.item(id).surplus().is_positive() =>
+            {
+                placed_surplus += goods.item(id).surplus();
+                reversed.push(id);
+                remaining.swap_remove(pos);
+            }
+            _ => {
+                return Err(ScheduleError::Infeasible {
+                    required: min_required_margin(goods),
+                    available: eps,
+                });
+            }
+        }
+    }
+    reversed.reverse();
+    Ok(reversed)
+}
+
+/// Exact feasibility by subset DP, returning a feasible delivery order if
+/// one exists (`Ok(None)` when infeasible).
+///
+/// State: set `T` of still-undelivered items. `T` is reachable iff the
+/// full set can be reduced to `T` respecting (†) at every step; an item
+/// `x ∈ T` can be delivered from `T` iff `Vs(x) − (s(T) − s(x)) ≤ ε`.
+/// The DP explores reachable states breadth-first.
+///
+/// # Errors
+///
+/// [`ScheduleError::TooManyItems`] beyond [`SUBSET_DP_MAX_ITEMS`] items.
+pub fn subset_dp_order(
+    goods: &Goods,
+    margins: SafetyMargins,
+) -> Result<Option<Vec<ItemId>>, ScheduleError> {
+    let n = goods.len();
+    if n > SUBSET_DP_MAX_ITEMS {
+        return Err(ScheduleError::TooManyItems {
+            n_items: n,
+            limit: SUBSET_DP_MAX_ITEMS,
+        });
+    }
+    let eps = margins.total();
+    let ids: Vec<ItemId> = goods.ids().collect();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+    // surplus_of[mask] computed incrementally would need 2^n memory anyway
+    // for `visited`; keep per-item surpluses and accumulate on the fly.
+    let surplus: Vec<Money> = ids.iter().map(|id| goods.item(*id).surplus()).collect();
+    let cost: Vec<Money> = ids
+        .iter()
+        .map(|id| goods.item(*id).supplier_cost())
+        .collect();
+
+    let mut visited = vec![false; 1usize << n];
+    // predecessor[mask] = item removed to reach `mask` from mask|bit.
+    let mut predecessor: Vec<u8> = vec![u8::MAX; 1usize << n];
+    let mut frontier: Vec<(u32, Money)> = vec![(full, surplus.iter().copied().sum())];
+    visited[full as usize] = true;
+
+    while let Some((mask, s_mask)) = frontier.pop() {
+        if mask == 0 {
+            continue;
+        }
+        for i in 0..n {
+            let bit = 1u32 << i;
+            if mask & bit == 0 {
+                continue;
+            }
+            // Deliver item i from state `mask`.
+            if cost[i] - (s_mask - surplus[i]) <= eps {
+                let next = mask & !bit;
+                if !visited[next as usize] {
+                    visited[next as usize] = true;
+                    predecessor[next as usize] = i as u8;
+                    frontier.push((next, s_mask - surplus[i]));
+                }
+            }
+        }
+    }
+
+    if !visited[0] {
+        return Ok(None);
+    }
+    // Reconstruct the order by walking predecessors from the empty set up.
+    let mut order_rev: Vec<ItemId> = Vec::with_capacity(n);
+    let mut mask = 0u32;
+    while mask != full {
+        let i = predecessor[mask as usize];
+        debug_assert_ne!(i, u8::MAX, "broken predecessor chain");
+        order_rev.push(ids[i as usize]);
+        mask |= 1u32 << i;
+    }
+    order_rev.reverse();
+    Ok(Some(order_rev))
+}
+
+/// Interleaves payments into a delivery order according to `policy`,
+/// producing a complete exchange sequence.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] if the order violates (†) — callers that
+/// obtained the order from a scheduler under the same margins never see
+/// this.
+pub fn interleave_payments(
+    deal: &Deal,
+    margins: SafetyMargins,
+    order: &[ItemId],
+    policy: PaymentPolicy,
+) -> Result<ExchangeSequence, ScheduleError> {
+    let goods = deal.goods();
+    assert_eq!(order.len(), goods.len(), "order must cover all items");
+
+    let mut actions = Vec::with_capacity(order.len() * 2 + 1);
+    let mut outstanding = deal.price();
+    // Remaining cost/value *before* each delivery.
+    let mut remaining_cost = goods.total_supplier_cost();
+    let mut remaining_value = goods.total_consumer_value();
+
+    for &id in order {
+        let item = goods.item(id);
+        // Admissible outstanding balance after an optional payment, such
+        // that delivering `id` right after stays within the window.
+        let lower_now = remaining_cost - margins.eps_consumer();
+        let upper_after = (remaining_value - item.consumer_value()) + margins.eps_supplier();
+        let lo = lower_now.max(Money::ZERO);
+        let hi = outstanding.min(upper_after);
+        if lo > hi {
+            return Err(ScheduleError::Infeasible {
+                required: min_required_margin(goods),
+                available: margins.total(),
+            });
+        }
+        let target = policy.choose_outstanding(lo, hi);
+        let payment = outstanding - target;
+        if payment.is_positive() {
+            actions.push(Action::Pay(payment));
+            outstanding = target;
+        }
+        actions.push(Action::Deliver(id));
+        remaining_cost -= item.supplier_cost();
+        remaining_value -= item.consumer_value();
+    }
+    if outstanding.is_positive() {
+        actions.push(Action::Pay(outstanding));
+    }
+    Ok(ExchangeSequence::new(actions))
+}
+
+/// Runs the chosen algorithm end to end: order the deliveries, interleave
+/// payments, and independently [`verify`] the result.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when the margins are too tight, or
+/// [`ScheduleError::TooManyItems`] for [`Algorithm::SubsetDp`] on large
+/// deals.
+///
+/// # Panics
+///
+/// Panics if the internally produced sequence fails verification — that
+/// would be a bug in this crate, not a caller error.
+///
+/// # Examples
+///
+/// ```
+/// use trustex_core::deal::Deal;
+/// use trustex_core::goods::Goods;
+/// use trustex_core::money::Money;
+/// use trustex_core::policy::PaymentPolicy;
+/// use trustex_core::safety::SafetyMargins;
+/// use trustex_core::scheduler::{schedule, Algorithm};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let goods = Goods::from_f64_pairs(&[(2.0, 5.0), (1.0, 4.0), (3.0, 3.0)])?;
+/// let deal = Deal::new(goods, Money::from_units(9))?;
+/// // Fully safe is impossible (every item costs the supplier something)…
+/// let margins = SafetyMargins::fully_safe();
+/// assert!(schedule(&deal, margins, PaymentPolicy::Lazy, Algorithm::Greedy).is_err());
+/// // …but a small trust-backed margin makes the deal schedulable.
+/// let margins = SafetyMargins::symmetric(Money::from_units(1))?;
+/// let verified = schedule(&deal, margins, PaymentPolicy::Lazy, Algorithm::Greedy)?;
+/// assert!(verified.max_consumer_temptation() <= margins.eps_supplier());
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule(
+    deal: &Deal,
+    margins: SafetyMargins,
+    policy: PaymentPolicy,
+    algorithm: Algorithm,
+) -> Result<VerifiedSequence, ScheduleError> {
+    let goods = deal.goods();
+    let order = match algorithm {
+        Algorithm::Greedy => {
+            let order = greedy_order(goods);
+            let required = required_margin_of_order(goods, &order);
+            if required > margins.total() {
+                return Err(ScheduleError::Infeasible {
+                    required,
+                    available: margins.total(),
+                });
+            }
+            order
+        }
+        Algorithm::Sandholm => sandholm_order(goods, margins)?,
+        Algorithm::SubsetDp => match subset_dp_order(goods, margins)? {
+            Some(order) => order,
+            None => {
+                return Err(ScheduleError::Infeasible {
+                    required: min_required_margin(goods),
+                    available: margins.total(),
+                });
+            }
+        },
+    };
+    let sequence = interleave_payments(deal, margins, &order, policy)?;
+    Ok(verify(deal, margins, &sequence)
+        .expect("scheduler produced a sequence rejected by the verifier (bug)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn goods(pairs: &[(f64, f64)]) -> Goods {
+        Goods::from_f64_pairs(pairs).unwrap()
+    }
+
+    fn margins(eps: f64) -> SafetyMargins {
+        SafetyMargins::symmetric(Money::from_f64(eps / 2.0)).unwrap()
+    }
+
+    // --- impossibility & existence -------------------------------------
+
+    #[test]
+    fn isolated_exchange_impossible_with_positive_costs() {
+        // Every item has Vs > 0 ⇒ the last delivery always violates (†)
+        // with ε = 0, whatever the order.
+        let g = goods(&[(2.0, 5.0), (1.0, 4.0), (3.0, 6.0)]);
+        assert!(min_required_margin(&g).is_positive());
+        assert!(!feasible(&g, SafetyMargins::fully_safe()));
+    }
+
+    #[test]
+    fn zero_cost_last_item_enables_fully_safe() {
+        // A zero-cost item can be delivered last; here every prefix works.
+        let g = goods(&[(0.0, 5.0), (2.0, 4.0)]);
+        assert_eq!(min_required_margin(&g), Money::ZERO);
+        assert!(feasible(&g, SafetyMargins::fully_safe()));
+    }
+
+    #[test]
+    fn min_margin_single_item_equals_cost() {
+        let g = goods(&[(3.0, 10.0)]);
+        assert_eq!(min_required_margin(&g), Money::from_units(3));
+        assert!(feasible(&g, margins(3.0)));
+        assert!(!feasible(&g, margins(2.9)));
+    }
+
+    #[test]
+    fn feasibility_monotone_in_margin() {
+        let g = goods(&[(2.0, 3.0), (4.0, 1.0), (1.0, 6.0)]);
+        let req = min_required_margin(&g);
+        let below = SafetyMargins::new(req - Money::from_micros(1), Money::ZERO).unwrap();
+        let exact = SafetyMargins::new(req, Money::ZERO).unwrap();
+        assert!(!feasible(&g, below));
+        assert!(feasible(&g, exact));
+    }
+
+    // --- greedy order structure ----------------------------------------
+
+    #[test]
+    fn greedy_puts_negative_surplus_first() {
+        let g = goods(&[(1.0, 5.0), (5.0, 1.0), (2.0, 6.0), (6.0, 2.0)]);
+        let order = greedy_order(&g);
+        let surpluses: Vec<bool> = order
+            .iter()
+            .map(|id| g.item(*id).surplus().is_positive())
+            .collect();
+        // All `false` (non-positive surplus) before all `true`.
+        let first_true = surpluses.iter().position(|b| *b).unwrap();
+        assert!(surpluses[first_true..].iter().all(|b| *b));
+        assert!(surpluses[..first_true].iter().all(|b| !*b));
+    }
+
+    #[test]
+    fn greedy_negative_sorted_by_value_positive_by_cost_desc() {
+        let g = goods(&[
+            (5.0, 1.0), // neg, Vc=1
+            (9.0, 3.0), // neg, Vc=3
+            (1.0, 8.0), // pos, Vs=1
+            (4.0, 9.0), // pos, Vs=4
+        ]);
+        let order = greedy_order(&g);
+        let idx: Vec<usize> = order.iter().map(|id| id.index()).collect();
+        assert_eq!(idx, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn requirement_profile_matches_manual() {
+        // Two items: a (Vs=2, Vc=5, s=3), b (Vs=1, Vc=4, s=3).
+        // Order [a, b]: req(a) = 2 - s(b) = -1 ; req(b) = 1 - 0 = 1.
+        let g = goods(&[(2.0, 5.0), (1.0, 4.0)]);
+        let ids: Vec<ItemId> = g.ids().collect();
+        let reqs = requirement_profile(&g, &ids);
+        assert_eq!(reqs, vec![Money::from_units(-1), Money::from_units(1)]);
+        assert_eq!(required_margin_of_order(&g, &ids), Money::from_units(1));
+    }
+
+    // --- cross-validation of the three algorithms -----------------------
+
+    #[test]
+    fn all_algorithms_agree_on_feasibility_small() {
+        // Deterministic pseudo-random instances, n ≤ 6, several margins.
+        let mut x = 2u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..60 {
+            let n = 1 + (trial % 6);
+            let pairs: Vec<(f64, f64)> =
+                (0..n).map(|_| (next() * 8.0, next() * 8.0)).collect();
+            let g = goods(&pairs);
+            for eps_units in [0.0, 0.5, 1.5, 4.0, 10.0] {
+                let m = margins(eps_units);
+                let greedy_ok = feasible(&g, m);
+                let sandholm_ok = sandholm_order(&g, m).is_ok();
+                let dp_ok = subset_dp_order(&g, m).unwrap().is_some();
+                assert_eq!(greedy_ok, dp_ok, "greedy vs dp: {pairs:?} eps={eps_units}");
+                assert_eq!(
+                    sandholm_ok, dp_ok,
+                    "sandholm vs dp: {pairs:?} eps={eps_units}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedulers_produce_verified_sequences() {
+        let g = goods(&[(2.0, 5.0), (1.0, 4.0), (3.0, 3.0), (0.5, 2.0)]);
+        let deal = Deal::with_split_surplus(g).unwrap();
+        let m = margins(4.0);
+        for alg in Algorithm::ALL {
+            for policy in PaymentPolicy::ALL {
+                let v = schedule(&deal, m, policy, alg)
+                    .unwrap_or_else(|e| panic!("{alg:?}/{policy:?}: {e}"));
+                assert_eq!(v.sequence().delivery_count(), 4, "{alg:?}/{policy:?}");
+                assert_eq!(
+                    v.sequence().total_paid(),
+                    deal.price(),
+                    "{alg:?}/{policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_error_reports_required_margin() {
+        let g = goods(&[(3.0, 10.0)]);
+        let deal = Deal::with_split_surplus(g).unwrap();
+        let err = schedule(
+            &deal,
+            SafetyMargins::fully_safe(),
+            PaymentPolicy::Lazy,
+            Algorithm::Greedy,
+        )
+        .unwrap_err();
+        match err {
+            ScheduleError::Infeasible {
+                required,
+                available,
+            } => {
+                assert_eq!(required, Money::from_units(3));
+                assert_eq!(available, Money::ZERO);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("requires total margin"));
+    }
+
+    #[test]
+    fn exact_margin_schedules() {
+        let g = goods(&[(3.0, 10.0), (2.0, 8.0)]);
+        let req = min_required_margin(&g);
+        let deal = Deal::with_split_surplus(g).unwrap();
+        let m = SafetyMargins::new(req, Money::ZERO).unwrap();
+        for alg in Algorithm::ALL {
+            assert!(
+                schedule(&deal, m, PaymentPolicy::Lazy, alg).is_ok(),
+                "{alg:?} must schedule at the exact margin"
+            );
+        }
+    }
+
+    #[test]
+    fn subset_dp_rejects_large_instances() {
+        let pairs: Vec<(f64, f64)> = (0..25).map(|i| (1.0, 2.0 + i as f64)).collect();
+        let g = goods(&pairs);
+        let err = subset_dp_order(&g, margins(100.0)).unwrap_err();
+        assert!(matches!(err, ScheduleError::TooManyItems { n_items: 25, .. }));
+    }
+
+    #[test]
+    fn sandholm_is_margin_sensitive() {
+        let g = goods(&[(2.0, 6.0), (5.0, 6.0)]);
+        // min margin: deliver Vs=2 last? req profile for [1(Vs5), 0(Vs2)]:
+        // req(x1)=5 - s(x0)=5-4=1; req(x0)=2 ⇒ margin 2. Order [0,1]:
+        // req(x0)=2-1=1; req(x1)=5 ⇒ 5. Optimal = 2.
+        assert_eq!(min_required_margin(&g), Money::from_units(2));
+        assert!(sandholm_order(&g, margins(2.0)).is_ok());
+        assert!(sandholm_order(&g, margins(1.9)).is_err());
+    }
+
+    #[test]
+    fn interleave_lazy_defers_final_payment() {
+        let g = goods(&[(1.0, 4.0), (2.0, 5.0)]);
+        let deal = Deal::with_split_surplus(g).unwrap();
+        let m = margins(6.0);
+        let order = greedy_order(deal.goods());
+        let seq = interleave_payments(&deal, m, &order, PaymentPolicy::Lazy).unwrap();
+        // Lazy: the last action must be a payment (consumer pays last).
+        assert!(matches!(seq.actions().last(), Some(Action::Pay(_))));
+    }
+
+    #[test]
+    fn interleave_eager_prepays() {
+        let g = goods(&[(1.0, 4.0), (2.0, 5.0)]);
+        let deal = Deal::with_split_surplus(g).unwrap();
+        let m = margins(20.0); // wide margins: eager pays everything upfront
+        let order = greedy_order(deal.goods());
+        let seq = interleave_payments(&deal, m, &order, PaymentPolicy::Eager).unwrap();
+        assert!(
+            matches!(seq.actions().first(), Some(Action::Pay(_))),
+            "eager should front-load payments: {:?}",
+            seq.actions()
+        );
+        // With margins that wide the whole price is paid before delivery.
+        match seq.actions().first() {
+            Some(Action::Pay(m0)) => assert_eq!(*m0, deal.price()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn algorithm_labels() {
+        assert_eq!(Algorithm::Greedy.label(), "greedy");
+        assert_eq!(Algorithm::default(), Algorithm::Greedy);
+        assert_eq!(Algorithm::ALL.len(), 3);
+        assert_eq!(Algorithm::Sandholm.label(), "sandholm");
+        assert_eq!(Algorithm::SubsetDp.label(), "subset-dp");
+    }
+
+    #[test]
+    fn required_margin_zero_for_all_zero_cost() {
+        let g = goods(&[(0.0, 3.0), (0.0, 1.0)]);
+        assert_eq!(min_required_margin(&g), Money::ZERO);
+        let deal = Deal::new(g, Money::from_units(2)).unwrap();
+        let v = schedule(
+            &deal,
+            SafetyMargins::fully_safe(),
+            PaymentPolicy::Lazy,
+            Algorithm::Greedy,
+        )
+        .unwrap();
+        assert_eq!(v.max_consumer_temptation(), Money::ZERO);
+        assert_eq!(v.max_supplier_temptation(), Money::ZERO);
+    }
+}

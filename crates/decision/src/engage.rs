@@ -1,0 +1,189 @@
+//! The engage-or-decline decision: Figure 1's right-hand module.
+//!
+//! Before scheduling anything, each party decides whether the exchange is
+//! worth entering at all: the expected gain under the trust estimate —
+//! completion gain on honest behaviour, worst-case exposure loss on
+//! defection — must clear a threshold.
+
+use serde::{Deserialize, Serialize};
+use trustex_core::money::Money;
+use trustex_trust::model::TrustEstimate;
+
+use crate::exposure::effective_dishonesty;
+
+/// Why an exchange was declined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeclineReason {
+    /// Expected gain below the configured threshold.
+    ExpectedGainTooLow,
+    /// The opponent's dishonesty estimate exceeds the hard limit.
+    OpponentTooRisky,
+}
+
+/// Outcome of the engagement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Engagement {
+    /// Proceed to scheduling; the expected gain is attached.
+    Engage {
+        /// Expected gain under the trust estimate.
+        expected_gain: Money,
+    },
+    /// Do not trade.
+    Decline {
+        /// Why.
+        reason: DeclineReason,
+    },
+}
+
+impl Engagement {
+    /// Whether the decision is to engage.
+    pub fn is_engage(self) -> bool {
+        matches!(self, Engagement::Engage { .. })
+    }
+}
+
+/// Parameters of the engagement rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngagementRule {
+    /// Minimum acceptable expected gain (often zero).
+    pub min_expected_gain: Money,
+    /// Hard ceiling on the opponent's effective dishonesty probability;
+    /// above it the party refuses regardless of stakes.
+    pub max_dishonesty: f64,
+}
+
+impl Default for EngagementRule {
+    fn default() -> Self {
+        EngagementRule {
+            min_expected_gain: Money::ZERO,
+            max_dishonesty: 0.5,
+        }
+    }
+}
+
+/// Decides whether to enter an exchange.
+///
+/// `gain` is the party's completion gain; `exposure` the bound it would
+/// grant (its worst-case loss). Expected gain =
+/// `(1 − p̂)·gain − p̂·exposure` with `p̂` the confidence-blended
+/// dishonesty estimate.
+///
+/// # Examples
+///
+/// ```
+/// use trustex_core::money::Money;
+/// use trustex_decision::engage::{decide, EngagementRule};
+/// use trustex_trust::model::TrustEstimate;
+///
+/// let rule = EngagementRule::default();
+/// let trusted = TrustEstimate::new(0.95, 1.0);
+/// let d = decide(trusted, Money::from_units(10), Money::from_units(5), rule);
+/// assert!(d.is_engage());
+/// ```
+pub fn decide(
+    opponent: TrustEstimate,
+    gain: Money,
+    exposure: Money,
+    rule: EngagementRule,
+) -> Engagement {
+    let p = effective_dishonesty(opponent);
+    if p > rule.max_dishonesty {
+        return Engagement::Decline {
+            reason: DeclineReason::OpponentTooRisky,
+        };
+    }
+    let expected = gain.scale(1.0 - p) - exposure.scale(p);
+    if expected < rule.min_expected_gain {
+        Engagement::Decline {
+            reason: DeclineReason::ExpectedGainTooLow,
+        }
+    } else {
+        Engagement::Engage {
+            expected_gain: expected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trusted_opponent_engaged() {
+        let d = decide(
+            TrustEstimate::new(0.95, 1.0),
+            Money::from_units(10),
+            Money::from_units(5),
+            EngagementRule::default(),
+        );
+        match d {
+            Engagement::Engage { expected_gain } => {
+                // 0.95·10 − 0.05·5 = 9.25.
+                assert_eq!(expected_gain, Money::from_f64(9.25));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn risky_opponent_declined_hard() {
+        let d = decide(
+            TrustEstimate::new(0.2, 1.0), // p̂ = 0.8 > 0.5
+            Money::from_units(1_000),
+            Money::ZERO,
+            EngagementRule::default(),
+        );
+        assert_eq!(
+            d,
+            Engagement::Decline {
+                reason: DeclineReason::OpponentTooRisky
+            }
+        );
+    }
+
+    #[test]
+    fn low_expected_gain_declined() {
+        // p̂ = 0.4: expected = 0.6·1 − 0.4·10 = −3.4 < 0.
+        let d = decide(
+            TrustEstimate::new(0.6, 1.0),
+            Money::from_units(1),
+            Money::from_units(10),
+            EngagementRule::default(),
+        );
+        assert_eq!(
+            d,
+            Engagement::Decline {
+                reason: DeclineReason::ExpectedGainTooLow
+            }
+        );
+        assert!(!d.is_engage());
+    }
+
+    #[test]
+    fn unknown_opponent_at_prior_boundary() {
+        // Unknown ⇒ p_eff = 0.5, exactly at the default ceiling: allowed.
+        let d = decide(
+            TrustEstimate::UNKNOWN,
+            Money::from_units(10),
+            Money::ZERO,
+            EngagementRule::default(),
+        );
+        assert!(d.is_engage(), "boundary is inclusive");
+    }
+
+    #[test]
+    fn threshold_respected() {
+        let rule = EngagementRule {
+            min_expected_gain: Money::from_units(5),
+            max_dishonesty: 1.0,
+        };
+        let d = decide(
+            TrustEstimate::new(0.9, 1.0),
+            Money::from_units(5),
+            Money::ZERO,
+            rule,
+        );
+        // expected = 4.5 < 5.
+        assert!(!d.is_engage());
+    }
+}

@@ -1,0 +1,319 @@
+//! Core-theory experiments: existence (E1), scaling (E2), relaxation
+//! (E3) and exposure bounds (E7).
+
+use super::Scale;
+use crate::table::Table;
+use crate::workload::Workload;
+use std::time::Instant;
+use trustex_core::curves::{generate, CurveParams, CurveShape};
+use trustex_core::deal::Deal;
+use trustex_core::goods::Goods;
+use trustex_core::money::Money;
+use trustex_core::policy::PaymentPolicy;
+use trustex_core::safety::SafetyMargins;
+use trustex_core::scheduler::{
+    feasible, greedy_order, min_required_margin, sandholm_order, schedule, Algorithm,
+};
+use trustex_decision::exposure::{exposure_bound, ExposurePolicy};
+use trustex_decision::risk::RiskProfile;
+use trustex_netsim::rng::SimRng;
+use trustex_trust::model::TrustEstimate;
+
+/// E1 — *Table R1*: fully safe sequences never exist for positive-cost
+/// goods (Sandholm's impossibility, §2 of the paper); a reputation stake
+/// of ε re-enables exchange, with the required margin set by the
+/// cheapest-tail delivery.
+pub fn e1_existence(scale: Scale) -> Table {
+    let trials = scale.pick(40, 400);
+    let sizes: &[usize] = scale.pick(&[2, 8][..], &[2, 4, 8, 16, 32][..]);
+    let mut table = Table::new(
+        "E1: safe-sequence existence (fraction of instances; margin as % of item cost)",
+        &[
+            "shape",
+            "n_items",
+            "safe@eps=0",
+            "feasible@25%",
+            "feasible@50%",
+            "feasible@100%",
+            "margin/mean_cost",
+        ],
+    );
+    let mut rng = SimRng::new(0xE1);
+    for shape in CurveShape::ALL {
+        for &n in sizes {
+            let mut safe0 = 0usize;
+            let mut ok = [0usize; 3]; // stakes of 25%, 50%, 100% mean item cost
+            let mut margin_ratio_sum = 0.0;
+            for _ in 0..trials {
+                let params = CurveParams {
+                    n_items: n,
+                    mean_cost: 10.0,
+                    value_markup: 1.6,
+                };
+                let mut draw = || rng.f64();
+                let goods = generate(shape, params, &mut draw).expect("n ≥ 1");
+                let mean_cost =
+                    goods.total_supplier_cost().as_f64() / goods.len() as f64;
+                let req = min_required_margin(&goods);
+                if req.is_zero() {
+                    safe0 += 1;
+                }
+                for (i, stake_frac) in [0.25, 0.5, 1.0].iter().enumerate() {
+                    let eps = Money::from_f64(mean_cost * stake_frac);
+                    if req <= eps {
+                        ok[i] += 1;
+                    }
+                }
+                margin_ratio_sum += req.as_f64() / mean_cost.max(1e-9);
+            }
+            let t = trials as f64;
+            table.push_row(vec![
+                shape.label().into(),
+                n.into(),
+                (safe0 as f64 / t).into(),
+                (ok[0] as f64 / t).into(),
+                (ok[1] as f64 / t).into(),
+                (ok[2] as f64 / t).into(),
+                (margin_ratio_sum / t).into(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E2 — *Figure R2*: runtime scaling of the greedy (`O(n log n)`) and
+/// Sandholm-style (`O(n²)`) schedulers. Absolute numbers are
+/// machine-dependent; the *shape* (quadratic vs quasi-linear growth) is
+/// the reproduced result.
+pub fn e2_scaling(scale: Scale) -> Table {
+    let sizes: &[usize] = scale.pick(&[16, 64, 256][..], &[16, 64, 256, 1024, 4096][..]);
+    let reps = scale.pick(3, 10);
+    let mut table = Table::new(
+        "E2: scheduler runtime (µs per instance, medians)",
+        &["n_items", "greedy_us", "sandholm_us", "sandholm/greedy"],
+    );
+    let mut rng = SimRng::new(0xE2);
+    for &n in sizes {
+        let pairs: Vec<(Money, Money)> = (0..n)
+            .map(|_| {
+                (
+                    Money::from_f64(rng.range_f64(0.5, 20.0)),
+                    Money::from_f64(rng.range_f64(0.5, 30.0)),
+                )
+            })
+            .collect();
+        let goods = Goods::new(pairs).expect("non-empty");
+        // A margin that makes every instance feasible, so both algorithms
+        // do full work.
+        let eps = goods.total_supplier_cost() + goods.total_consumer_value();
+        let margins = SafetyMargins::new(eps, Money::ZERO).expect("non-negative");
+
+        let mut greedy_times = Vec::with_capacity(reps);
+        let mut sandholm_times = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let order = greedy_order(&goods);
+            std::hint::black_box(&order);
+            greedy_times.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
+
+            let t0 = Instant::now();
+            let order = sandholm_order(&goods, margins).expect("feasible");
+            std::hint::black_box(&order);
+            sandholm_times.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+        greedy_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sandholm_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let g = greedy_times[greedy_times.len() / 2];
+        let s = sandholm_times[sandholm_times.len() / 2];
+        table.push_row(vec![
+            n.into(),
+            g.into(),
+            s.into(),
+            (s / g.max(1e-9)).into(),
+        ]);
+    }
+    table
+}
+
+/// E3 — *Figure R3*: fraction of realistic deals that become schedulable
+/// as the tolerated margin grows from 0 to 50% of the deal's surplus —
+/// the paper's central "sufficiently trustworthy partners can trade even
+/// when a fully safe sequence does not exist".
+pub fn e3_relaxation(scale: Scale) -> Table {
+    let trials = scale.pick(60, 600);
+    let fractions = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+    let mut table = Table::new(
+        "E3: fraction of deals schedulable at margin = f × total surplus",
+        &[
+            "workload", "f=0", "f=0.05", "f=0.1", "f=0.2", "f=0.3", "f=0.5",
+        ],
+    );
+    let mut rng = SimRng::new(0xE3);
+    for w in Workload::ALL {
+        let mut ok = vec![0usize; fractions.len()];
+        for _ in 0..trials {
+            let deal = w.generate_deal(&mut rng);
+            let surplus = deal.goods().total_surplus();
+            for (i, f) in fractions.iter().enumerate() {
+                let margins =
+                    SafetyMargins::symmetric(surplus.scale(*f / 2.0)).expect("non-negative");
+                if feasible(deal.goods(), margins) {
+                    ok[i] += 1;
+                }
+            }
+        }
+        let mut row = vec![w.label().into()];
+        for n_ok in ok {
+            row.push((n_ok as f64 / trials as f64).into());
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// E7 — *Figure R6*: the decision module's trust → exposure translation:
+/// how the granted ε (as a fraction of the party's gain) and the share of
+/// tradeable deals grow with opponent trust, per risk attitude.
+pub fn e7_exposure(scale: Scale) -> Table {
+    let trials = scale.pick(40, 400);
+    let mut table = Table::new(
+        "E7: exposure bound and tradeability vs trust (ebay deals)",
+        &[
+            "p_honest",
+            "risk",
+            "eps/gain",
+            "tradeable",
+            "mean_realized_exposure",
+        ],
+    );
+    let mut rng = SimRng::new(0xE7);
+    let profiles = [
+        RiskProfile::Averse { gamma: 0.5 },
+        RiskProfile::Neutral,
+        RiskProfile::Seeking { gamma: 2.0 },
+    ];
+    // One fixed deal sample shared by every (trust, profile) cell so the
+    // cells are comparable.
+    let deals: Vec<Deal> = (0..trials)
+        .map(|_| Workload::Ebay.generate_deal(&mut rng))
+        .collect();
+    for &p_honest in &[0.5, 0.7, 0.85, 0.95, 0.99] {
+        for profile in profiles {
+            let mut tradeable = 0usize;
+            let mut eps_frac_sum = 0.0;
+            let mut realized_sum = 0.0;
+            let mut realized_n = 0usize;
+            for deal in &deals {
+                let est = TrustEstimate::new(p_honest, 1.0);
+                let policy = ExposurePolicy {
+                    base_budget_fraction: 0.1,
+                    risk: profile,
+                    cap: deal.price(),
+                };
+                let eps_s = exposure_bound(est, deal.supplier_profit(), policy);
+                let eps_c = exposure_bound(est, deal.consumer_surplus(), policy);
+                let gain = deal.supplier_profit().as_f64().max(1e-9);
+                eps_frac_sum += eps_s.as_f64() / gain;
+                let margins = SafetyMargins::new(eps_s, eps_c).expect("non-negative");
+                if let Ok(v) = schedule(deal, margins, PaymentPolicy::Lazy, Algorithm::Greedy) {
+                    tradeable += 1;
+                    realized_sum += v.max_consumer_temptation().as_f64().max(0.0);
+                    realized_n += 1;
+                }
+            }
+            table.push_row(vec![
+                p_honest.into(),
+                profile.label().into(),
+                (eps_frac_sum / trials as f64).into(),
+                (tradeable as f64 / trials as f64).into(),
+                (realized_sum / realized_n.max(1) as f64).into(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    fn num(cell: &Cell) -> f64 {
+        match cell {
+            Cell::Num(v) => *v,
+            Cell::Int(v) => *v as f64,
+            Cell::Text(t) => panic!("expected number, got {t}"),
+        }
+    }
+
+    #[test]
+    fn e1_no_fully_safe_sequences() {
+        let t = e1_existence(Scale::Smoke);
+        // Column 2 is safe@eps=0: must be 0 for every all-positive-cost
+        // shape (all shapes here have positive mean cost).
+        for row in t.rows() {
+            assert_eq!(num(&row[2]), 0.0, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn e1_feasibility_monotone_in_stake() {
+        let t = e1_existence(Scale::Smoke);
+        for row in t.rows() {
+            let f25 = num(&row[3]);
+            let f50 = num(&row[4]);
+            let f100 = num(&row[5]);
+            assert!(f25 <= f50 && f50 <= f100, "monotone in stake: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e2_sandholm_slower_at_scale() {
+        let t = e2_scaling(Scale::Smoke);
+        let last = t.rows().last().unwrap();
+        assert!(
+            num(&last[3]) > 1.0,
+            "quadratic must trail quasi-linear at n=256: {last:?}"
+        );
+    }
+
+    #[test]
+    fn e3_relaxation_monotone() {
+        let t = e3_relaxation(Scale::Smoke);
+        for row in t.rows() {
+            let vals: Vec<f64> = (1..row.len()).map(|i| num(&row[i])).collect();
+            for w in vals.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9, "fractions must be monotone: {row:?}");
+            }
+            assert_eq!(vals[0], 0.0, "f=0 never schedulable: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e7_exposure_grows_with_trust() {
+        let t = e7_exposure(Scale::Smoke);
+        // For the neutral profile, eps/gain strictly grows with p_honest.
+        let neutral: Vec<f64> = t
+            .rows()
+            .iter()
+            .filter(|r| matches!(&r[1], Cell::Text(s) if s == "neutral"))
+            .map(|r| num(&r[2]))
+            .collect();
+        assert!(neutral.len() >= 3);
+        for w in neutral.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "{neutral:?}");
+        }
+    }
+
+    #[test]
+    fn e7_risk_ordering() {
+        let t = e7_exposure(Scale::Smoke);
+        // At fixed trust, averse ≤ neutral ≤ seeking in eps/gain.
+        for chunk in t.rows().chunks(3) {
+            if chunk.len() == 3 {
+                assert!(num(&chunk[0][2]) <= num(&chunk[1][2]) + 1e-9);
+                assert!(num(&chunk[1][2]) <= num(&chunk[2][2]) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Storage-substrate experiments: P-Grid routing/churn (E6) and the
+//! ablation matrix (E10).
+
+use super::Scale;
+use crate::population::ModelKind;
+use crate::sim::{MarketConfig, MarketSim};
+use crate::strategy::Strategy;
+use crate::table::Table;
+use crate::workload::Workload;
+use trustex_agents::profile::PopulationMix;
+use trustex_core::policy::PaymentPolicy;
+use trustex_netsim::churn::{ChurnModel, ChurnTimeline};
+use trustex_netsim::rng::SimRng;
+use trustex_netsim::time::SimTime;
+use trustex_reputation::pgrid::{PGrid, PGridConfig};
+use trustex_reputation::record::key_for_peer;
+use trustex_trust::model::PeerId;
+
+/// One P-Grid measurement: mean hops, messages per query, success rate.
+fn measure_grid(
+    n: usize,
+    replication: usize,
+    down_fraction: f64,
+    queries: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut rng = SimRng::new(seed);
+    let cfg = PGridConfig::for_population(n, replication);
+    let mut grid = PGrid::build(n, cfg, &mut rng);
+    let mut net = trustex_netsim::net::Network::new(trustex_netsim::net::NetConfig::default());
+
+    // Seed some complaints so queries return data.
+    for i in 0..(n / 2) {
+        let about = PeerId((i % n) as u32);
+        let key = key_for_peer(about, cfg.key_bits);
+        let item = trustex_reputation::record::Complaint {
+            by: PeerId(((i + 1) % n) as u32),
+            about,
+            round: 0,
+        };
+        grid.insert(i % n, key, item, None, &mut net, &mut rng);
+    }
+
+    // Availability mask via a churn timeline snapshot.
+    let alive: Option<Vec<bool>> = if down_fraction > 0.0 {
+        let model = ChurnModel::new(1.0 - down_fraction, down_fraction);
+        let tl = ChurnTimeline::generate(n, SimTime::from_secs(10), model, &mut rng);
+        Some((0..n).map(|i| tl.is_up(i, SimTime::from_secs(5))).collect())
+    } else {
+        None
+    };
+
+    net.reset_counters();
+    let mut hops_sum = 0u64;
+    let mut success = 0usize;
+    for q in 0..queries {
+        let subject = PeerId(rng.index(n) as u32);
+        let key = key_for_peer(subject, cfg.key_bits);
+        let origin = loop {
+            let o = rng.index(n);
+            if alive.as_deref().is_none_or(|a| a[o]) {
+                break o;
+            }
+        };
+        let _ = q;
+        let result = grid.query(origin, key, alive.as_deref(), &mut net, &mut rng);
+        if result.is_resolved() {
+            success += 1;
+            hops_sum += result.hops as u64;
+        }
+    }
+    let msgs_per_query = net.total_sent() as f64 / queries as f64;
+    let mean_hops = hops_sum as f64 / success.max(1) as f64;
+    (mean_hops, msgs_per_query, success as f64 / queries as f64)
+}
+
+/// E6 — *Figure R5*: reputation lookups cost `O(log N)` messages and
+/// survive churn thanks to replication — the property the paper's
+/// reference \[2\] rests on.
+pub fn e6_pgrid(scale: Scale) -> Table {
+    let sizes: &[usize] = scale.pick(&[32, 128][..], &[16, 64, 256, 1024, 4096][..]);
+    let queries = scale.pick(100, 400);
+    let mut table = Table::new(
+        "E6: P-Grid lookup cost and availability (replication 4)",
+        &[
+            "n_peers",
+            "mean_hops",
+            "msgs/query",
+            "success@0%down",
+            "success@10%down",
+            "success@30%down",
+        ],
+    );
+    for &n in sizes {
+        let (hops, msgs, s0) = measure_grid(n, 4, 0.0, queries, 0xE6);
+        let (_, _, s10) = measure_grid(n, 4, 0.10, queries, 0xE6 + 1);
+        let (_, _, s30) = measure_grid(n, 4, 0.30, queries, 0xE6 + 2);
+        table.push_row(vec![
+            n.into(),
+            hops.into(),
+            msgs.into(),
+            s0.into(),
+            s10.into(),
+            s30.into(),
+        ]);
+    }
+    table
+}
+
+/// E10 — *Table R4*: ablations of the design choices `DESIGN.md` calls
+/// out: payment policy, gossip fan-out, storage replication and risk
+/// attitude.
+pub fn e10_ablations(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E10: ablations (metric depends on row group)",
+        &["group", "variant", "metric", "value"],
+    );
+
+    // (a) Payment policy: realized honest losses per session in a 30%
+    // dishonest market (exposure splits differently).
+    for policy in PaymentPolicy::ALL {
+        let cfg = MarketConfig {
+            n_agents: scale.pick(40, 120),
+            rounds: scale.pick(6, 25),
+            sessions_per_round: scale.pick(40, 120),
+            payment_policy: policy,
+            strategy: Strategy::TrustAware,
+            workload: Workload::FileSharing,
+            seed: 0xA0,
+            ..MarketConfig::default()
+        };
+        let r = MarketSim::new(cfg).run();
+        table.push_row(vec![
+            "payment-policy".into(),
+            policy.label().into(),
+            "honest_losses/sess".into(),
+            (r.honest_losses / r.sessions.max(1) as f64).into(),
+        ]);
+    }
+
+    // (b) Gossip fan-out: final MAE with 0 / 3 / 10 witnesses.
+    for gossip in [0usize, 3, 10] {
+        let cfg = MarketConfig {
+            n_agents: scale.pick(40, 120),
+            rounds: scale.pick(6, 25),
+            sessions_per_round: scale.pick(40, 120),
+            gossip_witnesses: gossip,
+            model: ModelKind::Mean,
+            mix: PopulationMix::standard(0.3, 0.0),
+            strategy: Strategy::UnsafeDeliverFirst,
+            seed: 0xA1,
+            ..MarketConfig::default()
+        };
+        let r = MarketSim::new(cfg).run();
+        table.push_row(vec![
+            "gossip".into(),
+            format!("k={gossip}").into(),
+            "final_mae".into(),
+            r.final_mae.into(),
+        ]);
+    }
+
+    // (c) Replication factor: query success under 30% down peers.
+    for repl in [1usize, 2, 4, 8] {
+        let n = scale.pick(64, 512);
+        let (_, _, success) = measure_grid(n, repl, 0.30, scale.pick(100, 300), 0xA2);
+        table.push_row(vec![
+            "replication".into(),
+            format!("r={repl}").into(),
+            "success@30%down".into(),
+            success.into(),
+        ]);
+    }
+
+    // (d) Trust model under heavy lying (50% of dishonest agents lie).
+    for model in [ModelKind::Beta, ModelKind::Mean] {
+        let cfg = MarketConfig {
+            n_agents: scale.pick(40, 120),
+            rounds: scale.pick(6, 25),
+            sessions_per_round: scale.pick(40, 120),
+            model,
+            mix: PopulationMix::standard(0.3, 0.5),
+            strategy: Strategy::UnsafeDeliverFirst,
+            seed: 0xA3,
+            ..MarketConfig::default()
+        };
+        let r = MarketSim::new(cfg).run();
+        table.push_row(vec![
+            "witness-discounting".into(),
+            model.label().into(),
+            "final_mae".into(),
+            r.final_mae.into(),
+        ]);
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    fn num(cell: &Cell) -> f64 {
+        match cell {
+            Cell::Num(v) => *v,
+            Cell::Int(v) => *v as f64,
+            Cell::Text(t) => panic!("expected number, got {t}"),
+        }
+    }
+
+    #[test]
+    fn e6_hops_scale_logarithmically() {
+        let t = e6_pgrid(Scale::Smoke);
+        let rows = t.rows();
+        // Mean hops should be ≈ trie depth: ~log2(n/4), certainly < 10.
+        for row in rows {
+            assert!(num(&row[1]) < 10.0, "{row:?}");
+            assert!(num(&row[3]) > 0.9, "no-churn success: {row:?}");
+        }
+        // Hops grow sub-linearly: quadrupling n adds ≲ 2.5 hops.
+        if rows.len() >= 2 {
+            let delta = num(&rows[rows.len() - 1][1]) - num(&rows[0][1]);
+            assert!(delta <= 2.5, "hops growth {delta}");
+        }
+    }
+
+    #[test]
+    fn e6_churn_degrades_gracefully() {
+        let t = e6_pgrid(Scale::Smoke);
+        for row in t.rows() {
+            assert!(num(&row[4]) >= num(&row[5]) - 0.05, "{row:?}");
+            assert!(num(&row[5]) > 0.5, "30% churn should retain >50%: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e10_replication_improves_availability() {
+        let t = e10_ablations(Scale::Smoke);
+        let repl: Vec<f64> = t
+            .rows()
+            .iter()
+            .filter(|r| matches!(&r[0], Cell::Text(s) if s == "replication"))
+            .map(|r| num(&r[3]))
+            .collect();
+        assert_eq!(repl.len(), 4);
+        assert!(
+            repl[3] > repl[0],
+            "r=8 must beat r=1 under churn: {repl:?}"
+        );
+    }
+
+    #[test]
+    fn e10_has_all_groups() {
+        let t = e10_ablations(Scale::Smoke);
+        for group in ["payment-policy", "gossip", "replication", "witness-discounting"] {
+            assert!(
+                t.rows()
+                    .iter()
+                    .any(|r| matches!(&r[0], Cell::Text(s) if s == group)),
+                "missing group {group}"
+            );
+        }
+    }
+}

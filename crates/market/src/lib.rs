@@ -1,0 +1,44 @@
+//! # trustex-market — the end-to-end community simulation
+//!
+//! Everything above the individual exchange: populations of behavioural
+//! agents ([`population`]), deal workloads from the paper's three
+//! application scenarios ([`workload`]), scheduling strategies from
+//! fully-safe to trust-aware to naive ([`strategy`]), the round-based
+//! market loop closing the reference model's feedback cycle ([`sim`]),
+//! accuracy/welfare metrics ([`metrics`]) and the full experiment suite
+//! E0–E10 ([`experiments`]) with text-table rendering ([`table`]).
+//!
+//! ```
+//! use trustex_market::prelude::*;
+//!
+//! let cfg = MarketConfig {
+//!     n_agents: 30,
+//!     rounds: 4,
+//!     sessions_per_round: 20,
+//!     ..MarketConfig::default()
+//! };
+//! let report = MarketSim::new(cfg).run();
+//! assert_eq!(report.sessions, 80);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod population;
+pub mod sim;
+pub mod strategy;
+pub mod table;
+pub mod workload;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::experiments::{find as find_experiment, Experiment, Scale, ALL as EXPERIMENTS};
+    pub use crate::metrics::{decision_accuracy, rank_accuracy, trust_mae};
+    pub use crate::population::{AnyModel, Community, ModelKind};
+    pub use crate::sim::{MarketConfig, MarketReport, MarketSim, RoundStats};
+    pub use crate::strategy::{plan, NoTrade, Strategy};
+    pub use crate::table::{Cell, Table};
+    pub use crate::workload::Workload;
+}

@@ -1,0 +1,167 @@
+//! Accuracy and welfare metrics for the experiment suite.
+
+use crate::population::Community;
+use trustex_trust::model::PeerId;
+
+/// Mean absolute error of trust estimates against ground truth, averaged
+/// over all ordered evaluator→subject pairs (`evaluator ≠ subject`).
+pub fn trust_mae(community: &Community) -> f64 {
+    let ids: Vec<PeerId> = community.agent_ids().collect();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &e in &ids {
+        for &s in &ids {
+            if e == s {
+                continue;
+            }
+            let est = community.predict(e, s).p_honest;
+            let truth = community.true_cooperation_prob(s);
+            total += (est - truth).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Probability that a uniformly chosen (honest, dishonest) subject pair
+/// is ranked correctly by a uniformly chosen evaluator (ties count ½) —
+/// an AUC analogue. Returns 0.5 when either class is empty.
+pub fn rank_accuracy(community: &Community) -> f64 {
+    let ids: Vec<PeerId> = community.agent_ids().collect();
+    let honest: Vec<PeerId> = ids.iter().copied().filter(|a| community.is_honest(*a)).collect();
+    let dishonest: Vec<PeerId> = ids
+        .iter()
+        .copied()
+        .filter(|a| !community.is_honest(*a))
+        .collect();
+    if honest.is_empty() || dishonest.is_empty() {
+        return 0.5;
+    }
+    let mut score = 0.0;
+    let mut count = 0usize;
+    for &e in &ids {
+        for &h in &honest {
+            if h == e {
+                continue;
+            }
+            for &d in &dishonest {
+                if d == e {
+                    continue;
+                }
+                let ph = community.predict(e, h).p_honest;
+                let pd = community.predict(e, d).p_honest;
+                score += if ph > pd {
+                    1.0
+                } else if ph == pd {
+                    0.5
+                } else {
+                    0.0
+                };
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.5
+    } else {
+        score / count as f64
+    }
+}
+
+/// Fraction of evaluator→subject pairs classified correctly by
+/// thresholding `p_honest` at 0.5 against the binary ground truth.
+pub fn decision_accuracy(community: &Community) -> f64 {
+    let ids: Vec<PeerId> = community.agent_ids().collect();
+    let mut correct = 0usize;
+    let mut count = 0usize;
+    for &e in &ids {
+        for &s in &ids {
+            if e == s {
+                continue;
+            }
+            let predicted_honest = community.predict(e, s).p_honest >= 0.5;
+            if predicted_honest == community.is_honest(s) {
+                correct += 1;
+            }
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        correct as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::ModelKind;
+    use trustex_agents::profile::PopulationMix;
+    use trustex_netsim::rng::SimRng;
+    use trustex_trust::model::Conduct;
+
+    fn community(dishonest: f64) -> Community {
+        let mut rng = SimRng::new(1);
+        Community::new(
+            10,
+            &PopulationMix::standard(dishonest, 0.0),
+            ModelKind::Beta,
+            &mut rng,
+        )
+    }
+
+    /// Feed every evaluator perfect direct experience about everyone.
+    fn educate(c: &mut Community, reps: u64) {
+        let ids: Vec<PeerId> = c.agent_ids().collect();
+        for &e in &ids {
+            for &s in &ids {
+                if e == s {
+                    continue;
+                }
+                let conduct = Conduct::from_honest(c.is_honest(s));
+                for r in 0..reps {
+                    c.record_direct(e, s, conduct, r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mae_decreases_with_evidence() {
+        let mut c = community(0.5);
+        let cold = trust_mae(&c);
+        assert!((cold - 0.5).abs() < 1e-9, "uninformed prior is 0.5 off");
+        educate(&mut c, 10);
+        let warm = trust_mae(&c);
+        assert!(warm < 0.2, "educated community MAE: {warm}");
+    }
+
+    #[test]
+    fn rank_accuracy_perfect_after_education() {
+        let mut c = community(0.5);
+        assert!((rank_accuracy(&c) - 0.5).abs() < 1e-9, "cold start is a coin flip");
+        educate(&mut c, 5);
+        assert_eq!(rank_accuracy(&c), 1.0);
+    }
+
+    #[test]
+    fn decision_accuracy_after_education() {
+        let mut c = community(0.3);
+        educate(&mut c, 10);
+        assert!(decision_accuracy(&c) > 0.95);
+    }
+
+    #[test]
+    fn degenerate_populations() {
+        let c = community(0.0);
+        assert_eq!(rank_accuracy(&c), 0.5, "no dishonest class");
+        // Decision accuracy with the cold prior (0.5 ≥ 0.5 ⇒ honest)
+        // is exactly the honest fraction.
+        assert!((decision_accuracy(&c) - 1.0).abs() < 1e-9);
+    }
+}

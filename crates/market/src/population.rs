@@ -1,0 +1,346 @@
+//! The community: agent profiles paired with per-agent trust models.
+//!
+//! Every agent owns its own [`TrustModel`] instance (trust is
+//! subjective), selected by [`ModelKind`]. The community also maintains
+//! the witness-corroboration bookkeeping that lets the beta model grade
+//! its informants.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trustex_agents::profile::{AgentProfile, PopulationMix};
+use trustex_netsim::rng::SimRng;
+use trustex_trust::baselines::{EwmaTrust, MeanTrust};
+use trustex_trust::beta::BetaTrust;
+use trustex_trust::complaints::ComplaintTrust;
+use trustex_trust::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+
+/// Which trust model every agent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Bayesian beta posterior (Mui et al.).
+    Beta,
+    /// Complaint-product metric (Aberer–Despotovic).
+    Complaints,
+    /// Arithmetic mean baseline.
+    Mean,
+    /// EWMA baseline.
+    Ewma,
+}
+
+impl ModelKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Beta,
+        ModelKind::Complaints,
+        ModelKind::Mean,
+        ModelKind::Ewma,
+    ];
+
+    /// Stable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Beta => "beta",
+            ModelKind::Complaints => "complaints",
+            ModelKind::Mean => "mean",
+            ModelKind::Ewma => "ewma",
+        }
+    }
+
+    fn build(self) -> AnyModel {
+        match self {
+            ModelKind::Beta => AnyModel::Beta(BetaTrust::new()),
+            ModelKind::Complaints => AnyModel::Complaints(ComplaintTrust::new()),
+            ModelKind::Mean => AnyModel::Mean(MeanTrust::new()),
+            ModelKind::Ewma => AnyModel::Ewma(EwmaTrust::default()),
+        }
+    }
+}
+
+/// A concrete trust model of any supported kind.
+#[derive(Debug, Clone)]
+pub enum AnyModel {
+    /// Bayesian beta posterior.
+    Beta(BetaTrust),
+    /// Complaint-product metric.
+    Complaints(ComplaintTrust),
+    /// Mean baseline.
+    Mean(MeanTrust),
+    /// EWMA baseline.
+    Ewma(EwmaTrust),
+}
+
+impl TrustModel for AnyModel {
+    fn record_direct(&mut self, subject: PeerId, conduct: Conduct, round: u64) {
+        match self {
+            AnyModel::Beta(m) => m.record_direct(subject, conduct, round),
+            AnyModel::Complaints(m) => m.record_direct(subject, conduct, round),
+            AnyModel::Mean(m) => m.record_direct(subject, conduct, round),
+            AnyModel::Ewma(m) => m.record_direct(subject, conduct, round),
+        }
+    }
+
+    fn record_witness(&mut self, report: WitnessReport) {
+        match self {
+            AnyModel::Beta(m) => m.record_witness(report),
+            AnyModel::Complaints(m) => m.record_witness(report),
+            AnyModel::Mean(m) => m.record_witness(report),
+            AnyModel::Ewma(m) => m.record_witness(report),
+        }
+    }
+
+    fn predict(&self, subject: PeerId) -> TrustEstimate {
+        match self {
+            AnyModel::Beta(m) => m.predict(subject),
+            AnyModel::Complaints(m) => m.predict(subject),
+            AnyModel::Mean(m) => m.predict(subject),
+            AnyModel::Ewma(m) => m.predict(subject),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyModel::Beta(m) => m.name(),
+            AnyModel::Complaints(m) => m.name(),
+            AnyModel::Mean(m) => m.name(),
+            AnyModel::Ewma(m) => m.name(),
+        }
+    }
+}
+
+impl AnyModel {
+    /// Grades a witness (no-op for models without witness reliability).
+    pub fn grade_witness(&mut self, witness: PeerId, corroborated: bool, round: u64) {
+        if let AnyModel::Beta(m) = self {
+            m.grade_witness(witness, corroborated, round);
+        }
+    }
+}
+
+/// The community of agents.
+#[derive(Debug)]
+pub struct Community {
+    profiles: Vec<AgentProfile>,
+    models: Vec<AnyModel>,
+    /// Witness reports awaiting corroboration:
+    /// `(evaluator, subject) → [(witness, claimed conduct)]`.
+    pending: HashMap<(PeerId, PeerId), Vec<(PeerId, Conduct)>>,
+}
+
+impl Community {
+    /// Samples a community of `n` agents from `mix`, all running `kind`
+    /// trust models.
+    pub fn new(n: usize, mix: &PopulationMix, kind: ModelKind, rng: &mut SimRng) -> Community {
+        let profiles = mix.sample(n, rng);
+        let models = (0..n)
+            .map(|_| {
+                let mut model = kind.build();
+                if let AnyModel::Complaints(m) = &mut model {
+                    m.set_population(n);
+                }
+                model
+            })
+            .collect();
+        Community {
+            profiles,
+            models,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the community is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profile of an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn profile(&self, agent: PeerId) -> AgentProfile {
+        self.profiles[agent.index()]
+    }
+
+    /// Read access to an agent's trust model.
+    pub fn model(&self, agent: PeerId) -> &AnyModel {
+        &self.models[agent.index()]
+    }
+
+    /// `evaluator`'s trust estimate of `subject`.
+    pub fn predict(&self, evaluator: PeerId, subject: PeerId) -> TrustEstimate {
+        self.models[evaluator.index()].predict(subject)
+    }
+
+    /// Ground truth cooperation probability of an agent.
+    pub fn true_cooperation_prob(&self, agent: PeerId) -> f64 {
+        self.profiles[agent.index()].exchange.true_cooperation_prob()
+    }
+
+    /// Whether an agent is fundamentally honest (ground truth).
+    pub fn is_honest(&self, agent: PeerId) -> bool {
+        self.profiles[agent.index()].exchange.is_fundamentally_honest()
+    }
+
+    /// Records `evaluator`'s direct experience with `subject` and grades
+    /// any pending witness reports about `subject` against it.
+    pub fn record_direct(
+        &mut self,
+        evaluator: PeerId,
+        subject: PeerId,
+        conduct: Conduct,
+        round: u64,
+    ) {
+        self.models[evaluator.index()].record_direct(subject, conduct, round);
+        if let Some(reports) = self.pending.remove(&(evaluator, subject)) {
+            for (witness, claimed) in reports {
+                self.models[evaluator.index()].grade_witness(
+                    witness,
+                    claimed == conduct,
+                    round,
+                );
+            }
+        }
+    }
+
+    /// Delivers a witness report to `target`'s model and queues it for
+    /// corroboration.
+    pub fn deliver_witness_report(&mut self, target: PeerId, report: WitnessReport) {
+        self.models[target.index()].record_witness(report);
+        self.pending
+            .entry((target, report.subject))
+            .or_default()
+            .push((report.witness, report.conduct));
+    }
+
+    /// Iterates over all agent ids.
+    pub fn agent_ids(&self) -> impl ExactSizeIterator<Item = PeerId> {
+        (0..self.profiles.len() as u32).map(PeerId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustex_agents::behavior::ExchangeBehavior;
+
+    fn community(kind: ModelKind) -> Community {
+        let mut rng = SimRng::new(1);
+        let mix = PopulationMix::standard(0.5, 0.0);
+        Community::new(20, &mix, kind, &mut rng)
+    }
+
+    #[test]
+    fn construction() {
+        let c = community(ModelKind::Beta);
+        assert_eq!(c.len(), 20);
+        assert!(!c.is_empty());
+        let honest = c.agent_ids().filter(|a| c.is_honest(*a)).count();
+        assert_eq!(honest, 10);
+    }
+
+    #[test]
+    fn ground_truth_matches_profile() {
+        let c = community(ModelKind::Beta);
+        for a in c.agent_ids() {
+            let p = c.profile(a);
+            if p.exchange == ExchangeBehavior::Honest {
+                assert_eq!(c.true_cooperation_prob(a), 1.0);
+            } else {
+                assert_eq!(c.true_cooperation_prob(a), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_experience_moves_estimates() {
+        for kind in ModelKind::ALL {
+            let mut c = community(kind);
+            let (a, b) = (PeerId(0), PeerId(1));
+            let before = c.predict(a, b).p_honest;
+            for r in 0..5 {
+                c.record_direct(a, b, Conduct::Dishonest, r);
+            }
+            let after = c.predict(a, b).p_honest;
+            assert!(after < before, "{kind:?}: {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn witness_reports_are_queued_and_graded() {
+        let mut c = community(ModelKind::Beta);
+        let (evaluator, witness, subject) = (PeerId(0), PeerId(1), PeerId(2));
+        // An accurate witness earns reliability once corroborated.
+        c.deliver_witness_report(
+            evaluator,
+            WitnessReport {
+                witness,
+                subject,
+                conduct: Conduct::Dishonest,
+                round: 0,
+            },
+        );
+        c.record_direct(evaluator, subject, Conduct::Dishonest, 1);
+        if let AnyModel::Beta(m) = c.model(evaluator) {
+            assert!(
+                m.witness_reliability(witness) > 0.5,
+                "corroborated witness gains reliability"
+            );
+        } else {
+            panic!("expected beta model");
+        }
+        // Pending entry consumed.
+        assert!(c.pending.is_empty());
+    }
+
+    #[test]
+    fn contradicted_witness_downgraded() {
+        let mut c = community(ModelKind::Beta);
+        let (evaluator, witness, subject) = (PeerId(0), PeerId(1), PeerId(2));
+        c.deliver_witness_report(
+            evaluator,
+            WitnessReport {
+                witness,
+                subject,
+                conduct: Conduct::Dishonest,
+                round: 0,
+            },
+        );
+        c.record_direct(evaluator, subject, Conduct::Honest, 1);
+        if let AnyModel::Beta(m) = c.model(evaluator) {
+            assert!(m.witness_reliability(witness) < 0.5);
+        } else {
+            panic!("expected beta model");
+        }
+    }
+
+    #[test]
+    fn model_kind_labels_and_names() {
+        for kind in ModelKind::ALL {
+            let c = community(kind);
+            assert_eq!(c.model(PeerId(0)).name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn grade_witness_noop_for_baselines() {
+        let mut c = community(ModelKind::Mean);
+        // Must not panic or change predictions.
+        let before = c.predict(PeerId(0), PeerId(5));
+        c.deliver_witness_report(
+            PeerId(0),
+            WitnessReport {
+                witness: PeerId(1),
+                subject: PeerId(5),
+                conduct: Conduct::Honest,
+                round: 0,
+            },
+        );
+        c.record_direct(PeerId(0), PeerId(5), Conduct::Honest, 1);
+        assert!(c.predict(PeerId(0), PeerId(5)).p_honest >= before.p_honest);
+    }
+}

@@ -1,0 +1,425 @@
+//! The end-to-end marketplace simulation: Figure 1 as a running loop.
+//!
+//! Every round, random pairs strike deals from a [`Workload`], schedule
+//! them with a [`Strategy`], execute against the agents' true behaviours,
+//! and feed the observed conduct back into trust models and gossip — the
+//! full reputation → trust → decision → exchange → feedback cycle of the
+//! paper's reference model.
+
+use crate::metrics::{decision_accuracy, rank_accuracy, trust_mae};
+use crate::population::{Community, ModelKind};
+use crate::strategy::{plan, Strategy};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use trustex_agents::profile::PopulationMix;
+use trustex_core::execute::{execute, ExchangeStatus};
+use trustex_core::policy::PaymentPolicy;
+use trustex_core::state::Role;
+use trustex_netsim::rng::SimRng;
+use trustex_trust::model::{Conduct, PeerId, WitnessReport};
+
+/// Configuration of one market simulation.
+#[derive(Debug, Clone)]
+pub struct MarketConfig {
+    /// Community size.
+    pub n_agents: usize,
+    /// Number of rounds.
+    pub rounds: u64,
+    /// Exchange sessions attempted per round.
+    pub sessions_per_round: usize,
+    /// Population composition.
+    pub mix: PopulationMix,
+    /// Trust model run by every agent.
+    pub model: ModelKind,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Deal generator.
+    pub workload: Workload,
+    /// Payment interleaving policy.
+    pub payment_policy: PaymentPolicy,
+    /// Witnesses each party gossips its observation to after a session.
+    pub gossip_witnesses: usize,
+    /// Master seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+    /// Record O(n²) trust metrics every round (else only at the end).
+    pub track_trust_per_round: bool,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            n_agents: 100,
+            rounds: 30,
+            sessions_per_round: 100,
+            mix: PopulationMix::standard(0.3, 0.25),
+            model: ModelKind::Beta,
+            strategy: Strategy::TrustAware,
+            workload: Workload::Ebay,
+            payment_policy: PaymentPolicy::Lazy,
+            gossip_witnesses: 3,
+            seed: 42,
+            track_trust_per_round: false,
+        }
+    }
+}
+
+/// Per-round aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Round index.
+    pub round: u64,
+    /// Sessions attempted.
+    pub sessions: u64,
+    /// Sessions that ran to completion.
+    pub completed: u64,
+    /// Sessions aborted by a defection.
+    pub aborted: u64,
+    /// Sessions never scheduled (declined or infeasible).
+    pub no_trade: u64,
+    /// Realized welfare (sum of both parties' gains), major units.
+    pub welfare: f64,
+    /// Losses (negative gains) suffered by fundamentally honest agents.
+    pub honest_losses: f64,
+    /// Trust MAE at the end of the round, when tracked.
+    pub trust_mae: Option<f64>,
+}
+
+/// Whole-run aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarketReport {
+    /// Per-round statistics.
+    pub per_round: Vec<RoundStats>,
+    /// Total sessions attempted.
+    pub sessions: u64,
+    /// Total completed.
+    pub completed: u64,
+    /// Total aborted by defection.
+    pub aborted: u64,
+    /// Total unscheduled (declined / infeasible).
+    pub no_trade: u64,
+    /// Total realized welfare, major units.
+    pub total_welfare: f64,
+    /// Total gains of fundamentally honest agents.
+    pub honest_gain: f64,
+    /// Total gains of dishonest agents.
+    pub dishonest_gain: f64,
+    /// Total losses suffered by honest agents.
+    pub honest_losses: f64,
+    /// Final trust MAE over all pairs.
+    pub final_mae: f64,
+    /// Final ranking accuracy (AUC analogue).
+    pub final_rank_accuracy: f64,
+    /// Final decision accuracy (threshold 0.5).
+    pub final_decision_accuracy: f64,
+}
+
+impl MarketReport {
+    /// Completed / attempted (0 when nothing attempted).
+    pub fn completion_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.sessions as f64
+        }
+    }
+
+    /// Fraction of sessions that were never scheduled.
+    pub fn no_trade_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.no_trade as f64 / self.sessions as f64
+        }
+    }
+
+    /// Mean welfare per attempted session.
+    pub fn welfare_per_session(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.total_welfare / self.sessions as f64
+        }
+    }
+}
+
+/// The simulation driver.
+#[derive(Debug)]
+pub struct MarketSim {
+    cfg: MarketConfig,
+    community: Community,
+    rng: SimRng,
+    honest_gain: f64,
+    dishonest_gain: f64,
+}
+
+impl MarketSim {
+    /// Builds the simulation (samples the population).
+    pub fn new(cfg: MarketConfig) -> MarketSim {
+        let mut rng = SimRng::new(cfg.seed);
+        let community = Community::new(cfg.n_agents, &cfg.mix, cfg.model, &mut rng);
+        MarketSim {
+            cfg,
+            community,
+            rng,
+            honest_gain: 0.0,
+            dishonest_gain: 0.0,
+        }
+    }
+
+    /// Read access to the community (e.g. for custom metrics).
+    pub fn community(&self) -> &Community {
+        &self.community
+    }
+
+    /// Runs all rounds and produces the report.
+    pub fn run(mut self) -> MarketReport {
+        let mut per_round = Vec::with_capacity(self.cfg.rounds as usize);
+        let mut report = MarketReport {
+            per_round: Vec::new(),
+            sessions: 0,
+            completed: 0,
+            aborted: 0,
+            no_trade: 0,
+            total_welfare: 0.0,
+            honest_gain: 0.0,
+            dishonest_gain: 0.0,
+            honest_losses: 0.0,
+            final_mae: 0.0,
+            final_rank_accuracy: 0.0,
+            final_decision_accuracy: 0.0,
+        };
+        for round in 0..self.cfg.rounds {
+            let stats = self.run_round(round);
+            report.sessions += stats.sessions;
+            report.completed += stats.completed;
+            report.aborted += stats.aborted;
+            report.no_trade += stats.no_trade;
+            report.total_welfare += stats.welfare;
+            report.honest_losses += stats.honest_losses;
+            per_round.push(stats);
+        }
+        // Gains per class are accumulated inside run_round via fields on
+        // self; fold them here.
+        report.honest_gain = self.honest_gain;
+        report.dishonest_gain = self.dishonest_gain;
+        report.final_mae = trust_mae(&self.community);
+        report.final_rank_accuracy = rank_accuracy(&self.community);
+        report.final_decision_accuracy = decision_accuracy(&self.community);
+        report.per_round = per_round;
+        report
+    }
+
+    fn run_round(&mut self, round: u64) -> RoundStats {
+        let n = self.community.len();
+        let mut stats = RoundStats {
+            round,
+            sessions: 0,
+            completed: 0,
+            aborted: 0,
+            no_trade: 0,
+            welfare: 0.0,
+            honest_losses: 0.0,
+            trust_mae: None,
+        };
+        for _ in 0..self.cfg.sessions_per_round {
+            stats.sessions += 1;
+            let supplier = PeerId(self.rng.index(n) as u32);
+            let consumer = loop {
+                let c = PeerId(self.rng.index(n) as u32);
+                if c != supplier {
+                    break c;
+                }
+            };
+            let deal = self.cfg.workload.generate_deal(&mut self.rng);
+            let s_trust = self.community.predict(supplier, consumer);
+            let c_trust = self.community.predict(consumer, supplier);
+            let sequence = match plan(
+                self.cfg.strategy,
+                &deal,
+                s_trust,
+                c_trust,
+                self.cfg.payment_policy,
+            ) {
+                Ok(seq) => seq,
+                Err(_) => {
+                    stats.no_trade += 1;
+                    continue;
+                }
+            };
+            // Execute against the true behaviours.
+            let mut rng_s = self.rng.fork(0xD1CE);
+            let mut rng_c = self.rng.fork(0xFACE);
+            let s_behavior = self.community.profile(supplier).exchange;
+            let c_behavior = self.community.profile(consumer).exchange;
+            let outcome = {
+                let mut s_oracle = s_behavior.oracle(round, &mut rng_s);
+                let mut c_oracle = c_behavior.oracle(round, &mut rng_c);
+                execute(&deal, &sequence, &mut s_oracle, &mut c_oracle)
+            };
+
+            // Accounting.
+            stats.welfare += outcome.welfare().as_f64();
+            let s_gain = outcome.supplier_gain.as_f64();
+            let c_gain = outcome.consumer_gain.as_f64();
+            for (agent, gain) in [(supplier, s_gain), (consumer, c_gain)] {
+                if self.community.is_honest(agent) {
+                    self.honest_gain += gain;
+                    if gain < 0.0 {
+                        stats.honest_losses += -gain;
+                    }
+                } else {
+                    self.dishonest_gain += gain;
+                }
+            }
+            match outcome.status {
+                ExchangeStatus::Completed => stats.completed += 1,
+                ExchangeStatus::Aborted { .. } => stats.aborted += 1,
+            }
+
+            // Feedback: both parties observed whether the other defected.
+            let s_defected = matches!(
+                outcome.status,
+                ExchangeStatus::Aborted {
+                    by: Role::Supplier,
+                    ..
+                }
+            );
+            let c_defected = matches!(
+                outcome.status,
+                ExchangeStatus::Aborted {
+                    by: Role::Consumer,
+                    ..
+                }
+            );
+            self.feedback(supplier, consumer, Conduct::from_honest(!c_defected), round);
+            self.feedback(consumer, supplier, Conduct::from_honest(!s_defected), round);
+
+            // Unprovoked slander.
+            for observer in [supplier, consumer] {
+                let reporting = self.community.profile(observer).reporting;
+                if reporting.slanders_now(&mut self.rng) {
+                    let victim = PeerId(self.rng.index(n) as u32);
+                    if victim != observer {
+                        self.gossip(observer, victim, Conduct::Dishonest, round);
+                    }
+                }
+            }
+        }
+        if self.cfg.track_trust_per_round {
+            stats.trust_mae = Some(trust_mae(&self.community));
+        }
+        stats
+    }
+
+    /// Records `observer`'s direct experience and gossips the (possibly
+    /// distorted) report to random witnesses.
+    fn feedback(&mut self, observer: PeerId, subject: PeerId, truth: Conduct, round: u64) {
+        self.community.record_direct(observer, subject, truth, round);
+        let reporting = self.community.profile(observer).reporting;
+        if let Some(shaped) = reporting.report(truth) {
+            self.gossip(observer, subject, shaped, round);
+        }
+    }
+
+    /// Delivers a witness report about `subject` to `gossip_witnesses`
+    /// random other agents.
+    fn gossip(&mut self, witness: PeerId, subject: PeerId, conduct: Conduct, round: u64) {
+        let n = self.community.len();
+        let k = self.cfg.gossip_witnesses.min(n.saturating_sub(2));
+        for _ in 0..k {
+            let target = PeerId(self.rng.index(n) as u32);
+            if target == witness || target == subject {
+                continue;
+            }
+            self.community.deliver_witness_report(
+                target,
+                WitnessReport {
+                    witness,
+                    subject,
+                    conduct,
+                    round,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg(strategy: Strategy) -> MarketConfig {
+        MarketConfig {
+            n_agents: 40,
+            rounds: 8,
+            sessions_per_round: 40,
+            strategy,
+            workload: Workload::FileSharing,
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
+        let b = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.aborted, b.aborted);
+        assert!((a.total_welfare - b.total_welfare).abs() < 1e-9);
+    }
+
+    #[test]
+    fn safe_only_never_trades_positive_cost_workloads() {
+        let report = MarketSim::new(smoke_cfg(Strategy::SafeOnly)).run();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.no_trade, report.sessions);
+        assert_eq!(report.total_welfare, 0.0);
+    }
+
+    #[test]
+    fn trust_aware_trades_and_learns() {
+        let report = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
+        assert!(report.completed > 0, "trust-aware must enable trades");
+        assert!(
+            report.final_rank_accuracy > 0.6,
+            "models should separate honest from dishonest: {}",
+            report.final_rank_accuracy
+        );
+        // Honest agents end up net positive in aggregate.
+        assert!(report.honest_gain > 0.0);
+    }
+
+    #[test]
+    fn deliver_first_bleeds_welfare_to_defectors() {
+        let naive = MarketSim::new(smoke_cfg(Strategy::UnsafeDeliverFirst)).run();
+        let aware = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
+        // The naive strategy completes trades with everyone, so dishonest
+        // agents capture gains; honest losses exceed the trust-aware ones.
+        assert!(naive.honest_losses > aware.honest_losses);
+        assert!(naive.aborted > 0);
+    }
+
+    #[test]
+    fn report_rates_consistent() {
+        let r = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
+        assert_eq!(r.sessions, r.completed + r.aborted + r.no_trade);
+        assert!((0.0..=1.0).contains(&r.completion_rate()));
+        assert!((0.0..=1.0).contains(&r.no_trade_rate()));
+        assert_eq!(r.per_round.len(), 8);
+        let sum: u64 = r.per_round.iter().map(|s| s.sessions).sum();
+        assert_eq!(sum, r.sessions);
+    }
+
+    #[test]
+    fn per_round_trust_tracking() {
+        let cfg = MarketConfig {
+            track_trust_per_round: true,
+            ..smoke_cfg(Strategy::TrustAware)
+        };
+        let r = MarketSim::new(cfg).run();
+        assert!(r.per_round.iter().all(|s| s.trust_mae.is_some()));
+        let first = r.per_round.first().unwrap().trust_mae.unwrap();
+        let last = r.per_round.last().unwrap().trust_mae.unwrap();
+        assert!(last <= first, "trust error should not grow: {first} -> {last}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # trustex-netsim — deterministic discrete-event network substrate
+//!
+//! This crate provides the simulation substrate that the rest of the
+//! `trustex` workspace (the reproduction of *Trust-Aware Cooperation*,
+//! Despotovic/Aberer/Hauswirth, ICDCS 2002) runs on:
+//!
+//! * [`rng::SimRng`] — a deterministic, seedable xoshiro256\*\* PRNG so that
+//!   every experiment in the paper reproduction is replayable bit-for-bit.
+//! * [`time::SimTime`] and [`event::EventQueue`] — a virtual clock and a
+//!   stable discrete-event queue (ties broken by insertion order).
+//! * [`net`] — message latency/drop models with per-kind accounting, used
+//!   by the P-Grid reputation storage to count routing messages.
+//! * [`churn`] — node availability timelines (alternating exponential
+//!   up/down periods), used for the churn experiments.
+//! * [`stats`] — small online statistics helpers (Welford mean/variance,
+//!   quantile samples, counters) shared by the experiment harness.
+//!
+//! The simulator is single-threaded by design: the experiments of the
+//! paper reproduction are specified as deterministic functions of a seed,
+//! which a multi-threaded event loop would break.
+//!
+//! ## Example
+//!
+//! ```
+//! use trustex_netsim::rng::SimRng;
+//! use trustex_netsim::event::EventQueue;
+//! use trustex_netsim::time::SimTime;
+//!
+//! let mut rng = SimRng::new(42);
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.push(SimTime::from_millis(5), "world");
+//! queue.push(SimTime::from_millis(1), "hello");
+//! let (t, what) = queue.pop().unwrap();
+//! assert_eq!((t.as_millis(), what), (1, "hello"));
+//! assert!(rng.chance(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod event;
+pub mod net;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use churn::{ChurnModel, ChurnTimeline};
+pub use event::EventQueue;
+pub use net::{Latency, NetConfig, Network, NodeId};
+pub use rng::SimRng;
+pub use stats::{Counters, Histogram, OnlineStats, Sample};
+pub use time::SimTime;

@@ -1,0 +1,318 @@
+//! Message-level network model: latency distributions, loss, accounting.
+//!
+//! The P-Grid reputation storage (crate `trustex-reputation`) routes
+//! queries through this model so that the experiment suite can report the
+//! *message cost* of reputation lookups — the metric the underlying
+//! CIKM 2001 system was evaluated on — without opening real sockets.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a simulated node.
+///
+/// A plain newtype over `u32`; the reputation layer maps its own peer
+/// identifiers onto these.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// One-way message latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Every message takes exactly this long (microseconds).
+    Constant(u64),
+    /// Uniform in `[lo, hi)` microseconds.
+    Uniform {
+        /// Inclusive lower bound in microseconds.
+        lo: u64,
+        /// Exclusive upper bound in microseconds.
+        hi: u64,
+    },
+    /// Mostly `base`, but with probability `spike_prob` a spike of
+    /// `base * spike_factor` — a crude model of congested links.
+    Spiky {
+        /// Baseline latency in microseconds.
+        base: u64,
+        /// Probability of a spike, in `[0, 1]`.
+        spike_prob: f64,
+        /// Multiplier applied to `base` during a spike.
+        spike_factor: u64,
+    },
+}
+
+impl Default for Latency {
+    /// A LAN-ish default: uniform 200µs–2ms.
+    fn default() -> Self {
+        Latency::Uniform { lo: 200, hi: 2_000 }
+    }
+}
+
+impl Latency {
+    /// Samples a one-way delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimTime {
+        let us = match *self {
+            Latency::Constant(us) => us,
+            Latency::Uniform { lo, hi } => {
+                if lo + 1 >= hi {
+                    lo
+                } else {
+                    rng.range_u64(lo, hi)
+                }
+            }
+            Latency::Spiky {
+                base,
+                spike_prob,
+                spike_factor,
+            } => {
+                if rng.chance(spike_prob) {
+                    base.saturating_mul(spike_factor)
+                } else {
+                    base
+                }
+            }
+        };
+        SimTime::from_micros(us)
+    }
+}
+
+/// Static configuration of a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// One-way latency model.
+    pub latency: Latency,
+    /// Independent probability that any message is silently dropped.
+    pub drop_prob: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: Latency::default(),
+            drop_prob: 0.0,
+        }
+    }
+}
+
+/// Outcome of attempting to send one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Message arrives after the contained one-way delay.
+    Delivered(SimTime),
+    /// Message was lost.
+    Dropped,
+}
+
+/// A message-accounting network model.
+///
+/// `Network` does not own an event queue; callers sample deliveries and
+/// schedule them however they like (the P-Grid layer routes recursively
+/// and simply sums delays and hops). What `Network` *does* own is the
+/// bookkeeping: messages sent / dropped per kind, so experiments can
+/// report exact message complexities.
+///
+/// # Examples
+///
+/// ```
+/// use trustex_netsim::net::{Network, NetConfig, Latency, Delivery};
+/// use trustex_netsim::rng::SimRng;
+///
+/// let mut rng = SimRng::new(1);
+/// let mut net = Network::new(NetConfig { latency: Latency::Constant(500), drop_prob: 0.0 });
+/// match net.send("query", &mut rng) {
+///     Delivery::Delivered(d) => assert_eq!(d.as_micros(), 500),
+///     Delivery::Dropped => unreachable!(),
+/// }
+/// assert_eq!(net.sent("query"), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetConfig,
+    sent: BTreeMap<&'static str, u64>,
+    dropped: BTreeMap<&'static str, u64>,
+}
+
+impl Network {
+    /// Creates a network with the given configuration.
+    pub fn new(cfg: NetConfig) -> Self {
+        Network {
+            cfg,
+            sent: BTreeMap::new(),
+            dropped: BTreeMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+
+    /// Attempts to send a message of the given kind, returning its fate.
+    ///
+    /// Every call counts as one sent message of `kind`; drops are counted
+    /// separately.
+    pub fn send(&mut self, kind: &'static str, rng: &mut SimRng) -> Delivery {
+        *self.sent.entry(kind).or_insert(0) += 1;
+        if rng.chance(self.cfg.drop_prob) {
+            *self.dropped.entry(kind).or_insert(0) += 1;
+            Delivery::Dropped
+        } else {
+            Delivery::Delivered(self.cfg.latency.sample(rng))
+        }
+    }
+
+    /// Messages sent of a given kind (including later-dropped ones).
+    pub fn sent(&self, kind: &str) -> u64 {
+        self.sent.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages dropped of a given kind.
+    pub fn dropped(&self, kind: &str) -> u64 {
+        self.dropped.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent across all kinds.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total messages dropped across all kinds.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Iterates over `(kind, sent, dropped)` triples in kind order.
+    pub fn iter_kinds(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.sent.iter().map(move |(k, s)| {
+            let d = self.dropped.get(k).copied().unwrap_or(0);
+            (*k, *s, d)
+        })
+    }
+
+    /// Resets all counters (configuration is kept).
+    pub fn reset_counters(&mut self) {
+        self.sent.clear();
+        self.dropped.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency() {
+        let mut rng = SimRng::new(1);
+        let lat = Latency::Constant(750);
+        for _ in 0..10 {
+            assert_eq!(lat.sample(&mut rng).as_micros(), 750);
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = SimRng::new(2);
+        let lat = Latency::Uniform { lo: 100, hi: 200 };
+        for _ in 0..1000 {
+            let d = lat.sample(&mut rng).as_micros();
+            assert!((100..200).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_band() {
+        let mut rng = SimRng::new(3);
+        let lat = Latency::Uniform { lo: 100, hi: 100 };
+        assert_eq!(lat.sample(&mut rng).as_micros(), 100);
+    }
+
+    #[test]
+    fn spiky_latency_spikes() {
+        let mut rng = SimRng::new(4);
+        let lat = Latency::Spiky {
+            base: 100,
+            spike_prob: 0.5,
+            spike_factor: 10,
+        };
+        let mut base_seen = false;
+        let mut spike_seen = false;
+        for _ in 0..200 {
+            match lat.sample(&mut rng).as_micros() {
+                100 => base_seen = true,
+                1_000 => spike_seen = true,
+                other => panic!("unexpected latency {other}"),
+            }
+        }
+        assert!(base_seen && spike_seen);
+    }
+
+    #[test]
+    fn send_counts_and_drops() {
+        let mut rng = SimRng::new(5);
+        let mut net = Network::new(NetConfig {
+            latency: Latency::Constant(10),
+            drop_prob: 0.5,
+        });
+        let mut delivered = 0;
+        for _ in 0..1000 {
+            if let Delivery::Delivered(_) = net.send("q", &mut rng) {
+                delivered += 1;
+            }
+        }
+        assert_eq!(net.sent("q"), 1000);
+        assert_eq!(net.dropped("q") + delivered, 1000);
+        let frac = net.dropped("q") as f64 / 1000.0;
+        assert!((frac - 0.5).abs() < 0.06, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn kinds_are_separate() {
+        let mut rng = SimRng::new(6);
+        let mut net = Network::new(NetConfig::default());
+        net.send("a", &mut rng);
+        net.send("a", &mut rng);
+        net.send("b", &mut rng);
+        assert_eq!(net.sent("a"), 2);
+        assert_eq!(net.sent("b"), 1);
+        assert_eq!(net.sent("c"), 0);
+        assert_eq!(net.total_sent(), 3);
+        let kinds: Vec<_> = net.iter_kinds().collect();
+        assert_eq!(kinds, vec![("a", 2, 0), ("b", 1, 0)]);
+    }
+
+    #[test]
+    fn reset_keeps_config() {
+        let mut rng = SimRng::new(7);
+        let cfg = NetConfig {
+            latency: Latency::Constant(1),
+            drop_prob: 0.25,
+        };
+        let mut net = Network::new(cfg);
+        net.send("x", &mut rng);
+        net.reset_counters();
+        assert_eq!(net.total_sent(), 0);
+        assert_eq!(net.config(), cfg);
+    }
+
+    #[test]
+    fn node_id_display_and_from() {
+        let n: NodeId = 7u32.into();
+        assert_eq!(format!("{n}"), "n7");
+        assert_eq!(n, NodeId(7));
+    }
+}

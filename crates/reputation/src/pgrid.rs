@@ -1,0 +1,676 @@
+//! P-Grid: the distributed binary-trie storage of Aberer et al., used by
+//! the CIKM 2001 reputation system (the paper's reference \[2\]).
+//!
+//! Each peer owns a binary *path*; it stores the data items whose keys
+//! the path prefixes, and it keeps, for every level `l` of its path, a
+//! small list of *references* to peers on the other side of the trie at
+//! that level (same first `l` bits, opposite bit `l`). Queries greedily
+//! resolve one more key bit per hop, giving `O(log N)` routing messages.
+//! Peers sharing the same full path are *replicas* of each other.
+//!
+//! The grid is built by the emergent pairwise-meeting protocol: peers
+//! repeatedly meet at random; peers with identical paths split the key
+//! space between them, peers with diverging paths exchange references.
+//! Splitting stops at a configured depth so that each leaf retains a
+//! replica group.
+
+use crate::record::{BitPath, Complaint, Key};
+use serde::{Deserialize, Serialize};
+use trustex_netsim::net::{Delivery, Network};
+use trustex_netsim::rng::SimRng;
+use trustex_netsim::time::SimTime;
+use trustex_trust::model::PeerId;
+
+/// Configuration of a [`PGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PGridConfig {
+    /// Width of the key space in bits (1..=32).
+    pub key_bits: u8,
+    /// Maximum trie depth; `2^max_depth` leaves. Choosing
+    /// `max_depth ≈ log2(n_peers / replication)` yields the target
+    /// replica-group size.
+    pub max_depth: u8,
+    /// Maximum references kept per level.
+    pub max_refs: usize,
+    /// Bootstrap meetings per peer (more meetings = better-filled
+    /// reference tables).
+    pub meetings_per_peer: usize,
+}
+
+impl Default for PGridConfig {
+    fn default() -> Self {
+        PGridConfig {
+            key_bits: 16,
+            max_depth: 6,
+            max_refs: 4,
+            meetings_per_peer: 150,
+        }
+    }
+}
+
+impl PGridConfig {
+    /// A configuration sized for `n` peers targeting a replica-group size
+    /// of roughly `replication` (≥ 1).
+    pub fn for_population(n: usize, replication: usize) -> PGridConfig {
+        let repl = replication.max(1);
+        let leaves = (n / repl).max(1);
+        let depth = (usize::BITS - leaves.leading_zeros())
+            .saturating_sub(1)
+            .clamp(1, 16) as u8;
+        PGridConfig {
+            max_depth: depth,
+            ..PGridConfig::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.key_bits >= 1 && self.key_bits <= 32);
+        assert!(self.max_depth >= 1 && self.max_depth <= self.key_bits);
+        assert!(self.max_refs >= 1);
+    }
+}
+
+/// One peer's trie position, references and local store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeerNode {
+    id: PeerId,
+    path: BitPath,
+    /// `refs[l]` = peers with the same first `l` bits and opposite bit
+    /// `l`. Indexed by level, length = `path.len()`.
+    refs: Vec<Vec<usize>>,
+    /// Complaints stored at this peer (deduplicated, ordered).
+    store: std::collections::BTreeSet<Complaint>,
+}
+
+impl PeerNode {
+    /// The peer's identifier.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The peer's trie path.
+    pub fn path(&self) -> BitPath {
+        self.path
+    }
+
+    /// Complaints currently stored at this peer.
+    pub fn stored(&self) -> impl ExactSizeIterator<Item = &Complaint> + '_ {
+        self.store.iter()
+    }
+
+    /// Number of stored complaints.
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+}
+
+/// Receipt for an insert: how it travelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsertReceipt {
+    /// Routing hops to the first responsible replica.
+    pub hops: u32,
+    /// Replicas that stored the item (0 = insert failed).
+    pub replicas_reached: usize,
+    /// Total latency accumulated along the routing path.
+    pub latency: SimTime,
+}
+
+/// Result of a key query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Routing hops to the first responsible replica.
+    pub hops: u32,
+    /// Per-replica answers: the complaints each reachable replica holds
+    /// for the queried key (dense peer index, complaint list).
+    pub answers: Vec<(usize, Vec<Complaint>)>,
+    /// Total latency of routing plus the slowest replica round-trip.
+    pub latency: SimTime,
+}
+
+impl QueryResult {
+    /// Whether at least one replica answered.
+    pub fn is_resolved(&self) -> bool {
+        !self.answers.is_empty()
+    }
+}
+
+/// The distributed trie.
+#[derive(Debug, Clone)]
+pub struct PGrid {
+    cfg: PGridConfig,
+    peers: Vec<PeerNode>,
+}
+
+impl PGrid {
+    /// Builds a grid of `n` peers by the emergent meeting protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the configuration is invalid.
+    pub fn build(n: usize, cfg: PGridConfig, rng: &mut SimRng) -> PGrid {
+        assert!(n > 0, "need at least one peer");
+        cfg.validate();
+        let mut grid = PGrid {
+            cfg,
+            peers: (0..n)
+                .map(|i| PeerNode {
+                    id: PeerId(i as u32),
+                    path: BitPath::EMPTY,
+                    refs: Vec::new(),
+                    store: Default::default(),
+                })
+                .collect(),
+        };
+        let meetings = cfg.meetings_per_peer.saturating_mul(n) / 2;
+        for _ in 0..meetings {
+            let a = rng.index(n);
+            let b = rng.index(n);
+            if a != b {
+                grid.meet(a, b, rng);
+            }
+        }
+        grid
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PGridConfig {
+        self.cfg
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the grid has no peers (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// The peer at a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn peer(&self, index: usize) -> &PeerNode {
+        &self.peers[index]
+    }
+
+    /// Iterates over all peers.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &PeerNode> + '_ {
+        self.peers.iter()
+    }
+
+    /// The pairwise-meeting exchange at the heart of P-Grid construction.
+    fn meet(&mut self, a: usize, b: usize, rng: &mut SimRng) {
+        let (pa, pb) = (self.peers[a].path, self.peers[b].path);
+        let l = pa.common_prefix(pb);
+        if l == pa.len() && l == pb.len() {
+            // Identical paths: split the subspace if depth remains.
+            if pa.len() < self.cfg.max_depth {
+                let bit_a = rng.chance(0.5);
+                self.extend_path(a, bit_a);
+                self.extend_path(b, !bit_a);
+                self.add_ref(a, l, b);
+                self.add_ref(b, l, a);
+            }
+            // At max depth the two peers are replicas: synchronise stores.
+            else {
+                let union: std::collections::BTreeSet<Complaint> = self.peers[a]
+                    .store
+                    .union(&self.peers[b].store)
+                    .copied()
+                    .collect();
+                self.peers[a].store = union.clone();
+                self.peers[b].store = union;
+            }
+        } else if l == pa.len() {
+            // a's path is a proper prefix of b's: a specialises to the
+            // complement of b's next bit, and they reference each other.
+            let bit_b = pb.bit(l);
+            self.extend_path(a, !bit_b);
+            self.add_ref(a, l, b);
+            self.add_ref(b, l, a);
+        } else if l == pb.len() {
+            let bit_a = pa.bit(l);
+            self.extend_path(b, !bit_a);
+            self.add_ref(a, l, b);
+            self.add_ref(b, l, a);
+        } else {
+            // Paths diverge at level l: mutual references at that level.
+            self.add_ref(a, l, b);
+            self.add_ref(b, l, a);
+        }
+        // Reference gossip: share one random reference per common level so
+        // tables fill beyond the direct meeting partners.
+        let common = self.peers[a].path.common_prefix(self.peers[b].path);
+        for level in 0..common {
+            let level = level as usize;
+            if let Some(&shared) = self.peers[a]
+                .refs
+                .get(level)
+                .and_then(|v| rng.pick(v.as_slice()))
+            {
+                self.add_ref(b, level as u8, shared);
+            }
+            if let Some(&shared) = self.peers[b]
+                .refs
+                .get(level)
+                .and_then(|v| rng.pick(v.as_slice()))
+            {
+                self.add_ref(a, level as u8, shared);
+            }
+        }
+    }
+
+    fn extend_path(&mut self, peer: usize, bit: bool) {
+        let node = &mut self.peers[peer];
+        node.path = node.path.child(bit);
+        node.refs.push(Vec::new());
+    }
+
+    fn add_ref(&mut self, peer: usize, level: u8, target: usize) {
+        if peer == target {
+            return;
+        }
+        // The invariant: target's path agrees with peer's on `level` bits
+        // and (when long enough) differs at bit `level`.
+        let (pp, tp) = (self.peers[peer].path, self.peers[target].path);
+        if pp.len() <= level || tp.len() <= level {
+            return;
+        }
+        if pp.common_prefix(tp) != level || pp.bit(level) == tp.bit(level) {
+            return;
+        }
+        let max_refs = self.cfg.max_refs;
+        let node = &mut self.peers[peer];
+        let level_refs = &mut node.refs[level as usize];
+        if !level_refs.contains(&target) {
+            if level_refs.len() >= max_refs {
+                level_refs.remove(0); // FIFO eviction
+            }
+            level_refs.push(target);
+        }
+    }
+
+    /// Dense indices of all peers responsible for `key` (ground truth,
+    /// not a network operation).
+    pub fn responsible_peers(&self, key: Key) -> Vec<usize> {
+        let w = self.cfg.key_bits;
+        (0..self.peers.len())
+            .filter(|&i| self.peers[i].path.is_prefix_of_key(key, w))
+            .collect()
+    }
+
+    /// Greedy routing from `origin` towards a peer responsible for `key`.
+    ///
+    /// Each hop sends one message through `net`; unavailable peers
+    /// (per `alive`, `None` = everyone up) are skipped among the level's
+    /// references. Returns the responsible peer index, hop count and
+    /// accumulated latency, or `None` when routing dead-ends.
+    pub fn route(
+        &self,
+        origin: usize,
+        key: Key,
+        alive: Option<&[bool]>,
+        net: &mut Network,
+        rng: &mut SimRng,
+    ) -> Option<(usize, u32, SimTime)> {
+        let w = self.cfg.key_bits;
+        let up = |i: usize| alive.is_none_or(|a| a[i]);
+        if !up(origin) {
+            return None;
+        }
+        let mut current = origin;
+        let mut hops = 0u32;
+        let mut latency = SimTime::ZERO;
+        let hop_limit = 4 * w as u32 + 8;
+        loop {
+            let node = &self.peers[current];
+            if node.path.is_prefix_of_key(key, w) {
+                return Some((current, hops, latency));
+            }
+            let level = node.path.common_prefix_with_key(key, w) as usize;
+            let candidates: Vec<usize> = node
+                .refs
+                .get(level)
+                .map(|v| v.iter().copied().filter(|&i| up(i)).collect())
+                .unwrap_or_default();
+            let Some(&next) = rng.pick(&candidates) else {
+                return None; // dead end: no live reference at this level
+            };
+            match net.send("route", rng) {
+                Delivery::Delivered(d) => latency += d,
+                Delivery::Dropped => return None,
+            }
+            hops += 1;
+            if hops > hop_limit {
+                return None; // defensive: reference-table inconsistency
+            }
+            current = next;
+        }
+    }
+
+    /// The live replica group for a key: every live peer responsible for
+    /// it. Peers with shorter paths covering the key count as members —
+    /// in a real deployment the landing peer reaches them by continuing
+    /// to route within its subtree, which costs the same one message per
+    /// member this model charges.
+    fn replica_group_for_key(&self, key: Key, alive: Option<&[bool]>) -> Vec<usize> {
+        let up = |i: usize| alive.is_none_or(|a| a[i]);
+        let w = self.cfg.key_bits;
+        (0..self.peers.len())
+            .filter(|&i| up(i) && self.peers[i].path.is_prefix_of_key(key, w))
+            .collect()
+    }
+
+    /// Inserts a complaint under `key`: routes to a responsible replica,
+    /// then pushes the item to the live members of its replica group.
+    pub fn insert(
+        &mut self,
+        origin: usize,
+        key: Key,
+        item: Complaint,
+        alive: Option<&[bool]>,
+        net: &mut Network,
+        rng: &mut SimRng,
+    ) -> InsertReceipt {
+        let Some((landing, hops, latency)) = self.route(origin, key, alive, net, rng) else {
+            return InsertReceipt {
+                hops: 0,
+                replicas_reached: 0,
+                latency: SimTime::ZERO,
+            };
+        };
+        let group = self.replica_group_for_key(key, alive);
+        let mut reached = 0;
+        let mut max_extra = SimTime::ZERO;
+        for member in group {
+            if member != landing {
+                match net.send("replicate", rng) {
+                    Delivery::Delivered(d) => max_extra = max_extra.max(d),
+                    Delivery::Dropped => continue,
+                }
+            }
+            self.peers[member].store.insert(item);
+            reached += 1;
+        }
+        InsertReceipt {
+            hops,
+            replicas_reached: reached,
+            latency: latency + max_extra,
+        }
+    }
+
+    /// Queries all live replicas for the items stored under `key`.
+    pub fn query(
+        &self,
+        origin: usize,
+        key: Key,
+        alive: Option<&[bool]>,
+        net: &mut Network,
+        rng: &mut SimRng,
+    ) -> QueryResult {
+        let Some((landing, hops, latency)) = self.route(origin, key, alive, net, rng) else {
+            return QueryResult {
+                hops: 0,
+                answers: Vec::new(),
+                latency: SimTime::ZERO,
+            };
+        };
+        let w = self.cfg.key_bits;
+        let mut answers = Vec::new();
+        let mut max_extra = SimTime::ZERO;
+        for member in self.replica_group_for_key(key, alive) {
+            if member != landing {
+                match net.send("replica_query", rng) {
+                    Delivery::Delivered(d) => max_extra = max_extra.max(d),
+                    Delivery::Dropped => continue,
+                }
+            }
+            let items: Vec<Complaint> = self.peers[member]
+                .store
+                .iter()
+                .filter(|c| {
+                    // Only items indexed under the queried key — a peer's
+                    // store can hold items for every key in its subspace.
+                    crate::record::key_for_peer(c.by, w) == key
+                        || crate::record::key_for_peer(c.about, w) == key
+                })
+                .copied()
+                .collect();
+            answers.push((member, items));
+        }
+        QueryResult {
+            hops,
+            answers,
+            latency: latency + max_extra,
+        }
+    }
+
+    /// Distribution of path depths — diagnostics for the bootstrap.
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.cfg.max_depth as usize + 1];
+        for p in &self.peers {
+            h[p.path.len() as usize] += 1;
+        }
+        h
+    }
+
+    /// Fraction of peers whose path reached the configured depth.
+    pub fn maturity(&self) -> f64 {
+        if self.peers.is_empty() {
+            return 0.0;
+        }
+        let full = self
+            .peers
+            .iter()
+            .filter(|p| p.path.len() == self.cfg.max_depth)
+            .count();
+        full as f64 / self.peers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustex_netsim::net::NetConfig;
+
+    fn grid(n: usize, depth: u8, seed: u64) -> (PGrid, SimRng, Network) {
+        let mut rng = SimRng::new(seed);
+        let cfg = PGridConfig {
+            max_depth: depth,
+            ..PGridConfig::default()
+        };
+        let g = PGrid::build(n, cfg, &mut rng);
+        (g, rng, Network::new(NetConfig::default()))
+    }
+
+    #[test]
+    fn bootstrap_reaches_full_depth() {
+        let (g, _, _) = grid(128, 5, 1);
+        assert!(
+            g.maturity() > 0.85,
+            "bootstrap should mature: {:?}",
+            g.depth_histogram()
+        );
+        // Residual shallow peers are tolerable (they hold larger
+        // subspaces) but must be rare and near-full-depth.
+        let hist = g.depth_histogram();
+        assert_eq!(hist[..4].iter().sum::<usize>(), 0, "{hist:?}");
+    }
+
+    #[test]
+    fn replica_groups_nonempty_at_depth() {
+        let (g, _, _) = grid(128, 4, 2);
+        // 128 peers over 16 leaves: every leaf should have ~8 replicas.
+        for leaf in 0..16u32 {
+            let count = g
+                .iter()
+                .filter(|p| {
+                    p.path().len() == 4
+                        && (0..4).all(|i| p.path().bit(i) == ((leaf >> (3 - i)) & 1 == 1))
+                })
+                .count();
+            assert!(count >= 1, "leaf {leaf:04b} unpopulated");
+        }
+    }
+
+    #[test]
+    fn routing_reaches_responsible_peer() {
+        let (g, mut rng, mut net) = grid(128, 5, 3);
+        let mut failures = 0;
+        for t in 0..200u32 {
+            let key = crate::record::key_for_peer(PeerId(t), g.config().key_bits);
+            let origin = rng.index(g.len());
+            match g.route(origin, key, None, &mut net, &mut rng) {
+                Some((peer, _hops, _)) => {
+                    assert!(
+                        g.peer(peer).path().is_prefix_of_key(key, g.config().key_bits),
+                        "landed on non-responsible peer"
+                    );
+                }
+                None => failures += 1,
+            }
+        }
+        assert!(failures <= 4, "too many routing failures: {failures}/200");
+    }
+
+    #[test]
+    fn routing_cost_is_logarithmic() {
+        let (g, mut rng, mut net) = grid(256, 6, 4);
+        let mut total_hops = 0u32;
+        let mut resolved = 0u32;
+        for t in 0..300u32 {
+            let key = crate::record::key_for_peer(PeerId(t), g.config().key_bits);
+            let origin = rng.index(g.len());
+            if let Some((_, hops, _)) = g.route(origin, key, None, &mut net, &mut rng) {
+                total_hops += hops;
+                resolved += 1;
+            }
+        }
+        assert!(resolved > 280);
+        let mean = total_hops as f64 / resolved as f64;
+        assert!(
+            mean <= 6.5,
+            "mean hops {mean} should be ≈ depth (6) or less"
+        );
+    }
+
+    #[test]
+    fn insert_then_query_roundtrip() {
+        let (mut g, mut rng, mut net) = grid(64, 4, 5);
+        let subject = PeerId(42);
+        let key = crate::record::key_for_peer(subject, g.config().key_bits);
+        let c = Complaint {
+            by: PeerId(1),
+            about: subject,
+            round: 3,
+        };
+        let receipt = g.insert(0, key, c, None, &mut net, &mut rng);
+        assert!(receipt.replicas_reached >= 1, "insert must reach a replica");
+        let result = g.query(17, key, None, &mut net, &mut rng);
+        assert!(result.is_resolved());
+        assert!(
+            result.answers.iter().any(|(_, items)| items.contains(&c)),
+            "stored complaint must be retrievable"
+        );
+    }
+
+    #[test]
+    fn insert_replicates_to_group() {
+        let (mut g, mut rng, mut net) = grid(64, 3, 6);
+        let subject = PeerId(9);
+        let key = crate::record::key_for_peer(subject, g.config().key_bits);
+        let c = Complaint {
+            by: PeerId(2),
+            about: subject,
+            round: 0,
+        };
+        let receipt = g.insert(1, key, c, None, &mut net, &mut rng);
+        // 64 peers over 8 leaves: replica groups of ~8.
+        assert!(
+            receipt.replicas_reached >= 3,
+            "expected multi-replica insert, got {}",
+            receipt.replicas_reached
+        );
+        let holders = g.iter().filter(|p| p.store.contains(&c)).count();
+        assert_eq!(holders, receipt.replicas_reached);
+    }
+
+    #[test]
+    fn query_with_down_replicas_still_resolves() {
+        let (mut g, mut rng, mut net) = grid(96, 3, 7);
+        let subject = PeerId(5);
+        let key = crate::record::key_for_peer(subject, g.config().key_bits);
+        let c = Complaint {
+            by: PeerId(3),
+            about: subject,
+            round: 1,
+        };
+        g.insert(0, key, c, None, &mut net, &mut rng);
+        // Take down 30% of peers (but keep the origin up).
+        let mut alive = vec![true; g.len()];
+        for i in 0..g.len() {
+            if i != 4 && rng.chance(0.3) {
+                alive[i] = false;
+            }
+        }
+        let mut resolved = 0;
+        for _ in 0..20 {
+            let r = g.query(4, key, Some(&alive), &mut net, &mut rng);
+            if r.is_resolved() {
+                resolved += 1;
+            }
+        }
+        assert!(resolved >= 15, "churn resilience too low: {resolved}/20");
+    }
+
+    #[test]
+    fn down_origin_cannot_route() {
+        let (g, mut rng, mut net) = grid(16, 2, 8);
+        let key = crate::record::key_for_peer(PeerId(0), g.config().key_bits);
+        let mut alive = vec![true; g.len()];
+        alive[3] = false;
+        assert!(g.route(3, key, Some(&alive), &mut net, &mut rng).is_none());
+    }
+
+    #[test]
+    fn message_accounting() {
+        let (mut g, mut rng, mut net) = grid(64, 4, 9);
+        let key = crate::record::key_for_peer(PeerId(1), g.config().key_bits);
+        let c = Complaint {
+            by: PeerId(0),
+            about: PeerId(1),
+            round: 0,
+        };
+        g.insert(0, key, c, None, &mut net, &mut rng);
+        g.query(5, key, None, &mut net, &mut rng);
+        assert!(net.total_sent() > 0, "operations must send messages");
+        assert!(net.sent("route") > 0 || net.sent("replicate") > 0);
+    }
+
+    #[test]
+    fn config_for_population() {
+        let cfg = PGridConfig::for_population(256, 4);
+        assert_eq!(cfg.max_depth, 6); // 256/4 = 64 leaves = depth 6
+        let cfg = PGridConfig::for_population(10, 100);
+        assert_eq!(cfg.max_depth, 1); // clamped at 1
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let (a, _, _) = grid(64, 4, 11);
+        let (b, _, _) = grid(64, 4, 11);
+        for i in 0..64 {
+            assert_eq!(a.peer(i).path(), b.peer(i).path());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_build_panics() {
+        let mut rng = SimRng::new(0);
+        PGrid::build(0, PGridConfig::default(), &mut rng);
+    }
+}

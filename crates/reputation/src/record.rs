@@ -1,0 +1,265 @@
+//! Feedback records and the binary key space of the P-Grid.
+//!
+//! The CIKM 2001 system stores only *complaints*. A complaint `c(p, q)`
+//! is indexed twice — under the key of the filer `p` and under the key of
+//! the subject `q` — so that both "complaints about q" and "complaints
+//! filed by q" can be retrieved with one key lookup each.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustex_trust::model::PeerId;
+
+/// A complaint: `by` reports that `about` misbehaved at `round`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Complaint {
+    /// The filing peer.
+    pub by: PeerId,
+    /// The accused peer.
+    pub about: PeerId,
+    /// Simulation round of the underlying interaction.
+    pub round: u64,
+}
+
+impl fmt::Display for Complaint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "complaint({} → {} @ {})", self.by, self.about, self.round)
+    }
+}
+
+/// A point in the P-Grid's binary key space.
+///
+/// Keys are fixed-width bit strings (width set by the grid
+/// configuration, at most 32 bits); peers are responsible for all keys
+/// their binary *path* is a prefix of.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Key(u32);
+
+impl Key {
+    /// Creates a key from raw bits (the low `width` bits are used).
+    pub const fn from_bits(bits: u32) -> Key {
+        Key(bits)
+    }
+
+    /// The raw bits.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The `i`-th bit counted from the most significant position of a
+    /// `width`-bit key (bit 0 = first routing decision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width` or `width > 32`.
+    pub fn bit(self, i: u8, width: u8) -> bool {
+        assert!(width <= 32 && i < width, "bit index out of range");
+        (self.0 >> (width - 1 - i)) & 1 == 1
+    }
+}
+
+/// Hashes a peer id into the `width`-bit key space (SplitMix64 finalizer,
+/// deterministic across runs and platforms).
+pub fn key_for_peer(peer: PeerId, width: u8) -> Key {
+    assert!(width > 0 && width <= 32, "key width must be in 1..=32");
+    let mut z = (peer.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Key((z as u32) & (u32::MAX >> (32 - width)))
+}
+
+/// A peer's binary path: the trie position it is responsible for.
+///
+/// The empty path is responsible for the whole key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct BitPath {
+    bits: u32, // left-aligned within `len` lowest-significance convention below
+    len: u8,
+}
+
+impl BitPath {
+    /// The empty path (responsible for everything).
+    pub const EMPTY: BitPath = BitPath { bits: 0, len: 0 };
+
+    /// Creates a path from the low `len` bits of `bits`
+    /// (most significant of those = first trie level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn from_bits(bits: u32, len: u8) -> BitPath {
+        assert!(len <= 32);
+        let mask = if len == 0 { 0 } else { u32::MAX >> (32 - len) };
+        BitPath {
+            bits: bits & mask,
+            len,
+        }
+    }
+
+    /// Path length (trie depth).
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether the path is empty.
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th bit of the path (0 = first trie level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn bit(self, i: u8) -> bool {
+        assert!(i < self.len, "path bit out of range");
+        (self.bits >> (self.len - 1 - i)) & 1 == 1
+    }
+
+    /// Returns the path extended by one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics at depth 32.
+    pub fn child(self, bit: bool) -> BitPath {
+        assert!(self.len < 32, "path depth limit");
+        BitPath {
+            bits: (self.bits << 1) | bit as u32,
+            len: self.len + 1,
+        }
+    }
+
+    /// Whether this path is a prefix of the `width`-bit `key`
+    /// (equivalently: whether this peer is responsible for the key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is longer than the key width.
+    pub fn is_prefix_of_key(self, key: Key, width: u8) -> bool {
+        assert!(self.len <= width, "path longer than key");
+        if self.len == 0 {
+            return true;
+        }
+        let key_prefix = key.bits() >> (width - self.len);
+        key_prefix == self.bits
+    }
+
+    /// Length of the common prefix with a `width`-bit key.
+    pub fn common_prefix_with_key(self, key: Key, width: u8) -> u8 {
+        let mut l = 0;
+        while l < self.len && l < width && self.bit(l) == key.bit(l, width) {
+            l += 1;
+        }
+        l
+    }
+
+    /// Length of the common prefix with another path.
+    pub fn common_prefix(self, other: BitPath) -> u8 {
+        let mut l = 0;
+        while l < self.len && l < other.len && self.bit(l) == other.bit(l) {
+            l += 1;
+        }
+        l
+    }
+}
+
+impl fmt::Display for BitPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 0 {
+            return f.write_str("ε");
+        }
+        for i in 0..self.len {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bit_indexing() {
+        // 4-bit key 0b1010: bits from the left are 1,0,1,0.
+        let k = Key::from_bits(0b1010);
+        assert!(k.bit(0, 4));
+        assert!(!k.bit(1, 4));
+        assert!(k.bit(2, 4));
+        assert!(!k.bit(3, 4));
+        assert_eq!(k.bits(), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_bit_out_of_range() {
+        Key::from_bits(0).bit(4, 4);
+    }
+
+    #[test]
+    fn key_for_peer_deterministic_and_spread() {
+        let a = key_for_peer(PeerId(1), 16);
+        let b = key_for_peer(PeerId(1), 16);
+        assert_eq!(a, b);
+        // Different peers land on different keys almost surely.
+        let distinct: std::collections::HashSet<u32> =
+            (0..100).map(|i| key_for_peer(PeerId(i), 16).bits()).collect();
+        assert!(distinct.len() > 95, "poor key spread: {}", distinct.len());
+        // Width masking.
+        assert!(key_for_peer(PeerId(7), 4).bits() < 16);
+    }
+
+    #[test]
+    fn path_child_and_bits() {
+        let p = BitPath::EMPTY.child(true).child(false).child(true);
+        assert_eq!(p.len(), 3);
+        assert!(p.bit(0));
+        assert!(!p.bit(1));
+        assert!(p.bit(2));
+        assert_eq!(format!("{p}"), "101");
+        assert_eq!(format!("{}", BitPath::EMPTY), "ε");
+    }
+
+    #[test]
+    fn path_prefix_of_key() {
+        let p = BitPath::from_bits(0b10, 2);
+        let k_match = Key::from_bits(0b1011);
+        let k_miss = Key::from_bits(0b1111);
+        assert!(p.is_prefix_of_key(k_match, 4));
+        assert!(!p.is_prefix_of_key(k_miss, 4));
+        assert!(BitPath::EMPTY.is_prefix_of_key(k_miss, 4));
+    }
+
+    #[test]
+    fn common_prefixes() {
+        let p = BitPath::from_bits(0b101, 3);
+        let q = BitPath::from_bits(0b100, 3);
+        assert_eq!(p.common_prefix(q), 2);
+        assert_eq!(p.common_prefix(p), 3);
+        assert_eq!(p.common_prefix(BitPath::EMPTY), 0);
+        let k = Key::from_bits(0b1000);
+        assert_eq!(p.common_prefix_with_key(k, 4), 2);
+        assert_eq!(q.common_prefix_with_key(k, 4), 3);
+    }
+
+    #[test]
+    fn from_bits_masks_extra() {
+        let p = BitPath::from_bits(0b111111, 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(format!("{p}"), "11");
+    }
+
+    #[test]
+    fn complaint_display() {
+        let c = Complaint {
+            by: PeerId(1),
+            about: PeerId(2),
+            round: 7,
+        };
+        assert_eq!(format!("{c}"), "complaint(peer#1 → peer#2 @ 7)");
+    }
+}

@@ -1,0 +1,220 @@
+//! Baseline trust models: plain mean and EWMA.
+//!
+//! These are the strawmen for experiment E5: they use the same inputs as
+//! the principled models but with naive statistics, quantifying how much
+//! the Bayesian treatment (priors, discounting, witness reliability)
+//! actually buys.
+
+use crate::confidence::evidence_confidence;
+use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Arithmetic-mean trust: `p = honest / total`, 0.5 when unseen.
+/// Witness reports count exactly like direct experience (no
+/// discounting) — deliberately gullible.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeanTrust {
+    counts: HashMap<PeerId, (u64, u64)>, // (honest, total)
+}
+
+impl MeanTrust {
+    /// Creates an empty model.
+    pub fn new() -> MeanTrust {
+        MeanTrust::default()
+    }
+
+    /// `(honest, total)` observation counts for a subject.
+    pub fn counts(&self, subject: PeerId) -> (u64, u64) {
+        self.counts.get(&subject).copied().unwrap_or((0, 0))
+    }
+
+    fn add(&mut self, subject: PeerId, conduct: Conduct) {
+        let e = self.counts.entry(subject).or_insert((0, 0));
+        if conduct.is_honest() {
+            e.0 += 1;
+        }
+        e.1 += 1;
+    }
+}
+
+impl TrustModel for MeanTrust {
+    fn record_direct(&mut self, subject: PeerId, conduct: Conduct, _round: u64) {
+        self.add(subject, conduct);
+    }
+
+    fn record_witness(&mut self, report: WitnessReport) {
+        self.add(report.subject, report.conduct);
+    }
+
+    fn predict(&self, subject: PeerId) -> TrustEstimate {
+        match self.counts(subject) {
+            (_, 0) => TrustEstimate::UNKNOWN,
+            (h, t) => TrustEstimate::new(h as f64 / t as f64, evidence_confidence(t as f64)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+}
+
+/// Exponentially weighted moving average trust.
+///
+/// `p ← (1 − λ)·p + λ·outcome` per observation, starting from 0.5.
+/// Reacts quickly to behaviour changes but never converges, and treats
+/// witness reports at weight `λ/2`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EwmaTrust {
+    /// Learning rate λ in `(0, 1]`.
+    rate: f64,
+    scores: HashMap<PeerId, (f64, u64)>, // (score, observations)
+}
+
+impl EwmaTrust {
+    /// Creates a model with learning rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate ≤ 1`.
+    pub fn new(rate: f64) -> EwmaTrust {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        EwmaTrust {
+            rate,
+            scores: HashMap::new(),
+        }
+    }
+
+    /// The learning rate λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn update(&mut self, subject: PeerId, conduct: Conduct, weight: f64) {
+        let (score, n) = self.scores.entry(subject).or_insert((0.5, 0));
+        let target = if conduct.is_honest() { 1.0 } else { 0.0 };
+        let lambda = self.rate * weight;
+        *score = (1.0 - lambda) * *score + lambda * target;
+        *n += 1;
+    }
+}
+
+impl Default for EwmaTrust {
+    /// λ = 0.2.
+    fn default() -> Self {
+        EwmaTrust::new(0.2)
+    }
+}
+
+impl TrustModel for EwmaTrust {
+    fn record_direct(&mut self, subject: PeerId, conduct: Conduct, _round: u64) {
+        self.update(subject, conduct, 1.0);
+    }
+
+    fn record_witness(&mut self, report: WitnessReport) {
+        self.update(report.subject, report.conduct, 0.5);
+    }
+
+    fn predict(&self, subject: PeerId) -> TrustEstimate {
+        match self.scores.get(&subject) {
+            None => TrustEstimate::UNKNOWN,
+            Some((score, n)) => TrustEstimate::new(*score, evidence_confidence(*n as f64)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_matches_fraction() {
+        let mut m = MeanTrust::new();
+        let p = PeerId(1);
+        for i in 0..10 {
+            m.record_direct(p, Conduct::from_honest(i % 5 != 0), 0);
+        }
+        // 8 honest of 10.
+        assert!((m.predict(p).p_honest - 0.8).abs() < 1e-12);
+        assert_eq!(m.counts(p), (8, 10));
+    }
+
+    #[test]
+    fn mean_unknown_is_half() {
+        let m = MeanTrust::new();
+        assert_eq!(m.predict(PeerId(3)), TrustEstimate::UNKNOWN);
+    }
+
+    #[test]
+    fn mean_is_gullible_to_witnesses() {
+        let mut m = MeanTrust::new();
+        let p = PeerId(1);
+        m.record_direct(p, Conduct::Honest, 0);
+        m.record_witness(WitnessReport {
+            witness: PeerId(2),
+            subject: p,
+            conduct: Conduct::Dishonest,
+            round: 0,
+        });
+        assert!((m.predict(p).p_honest - 0.5).abs() < 1e-12, "full weight");
+    }
+
+    #[test]
+    fn ewma_tracks_recent_behaviour() {
+        let mut m = EwmaTrust::new(0.3);
+        let p = PeerId(1);
+        for _ in 0..30 {
+            m.record_direct(p, Conduct::Honest, 0);
+        }
+        let high = m.predict(p).p_honest;
+        assert!(high > 0.95);
+        for _ in 0..10 {
+            m.record_direct(p, Conduct::Dishonest, 0);
+        }
+        let low = m.predict(p).p_honest;
+        assert!(low < 0.1, "EWMA must react to the behaviour flip: {low}");
+    }
+
+    #[test]
+    fn ewma_update_formula() {
+        let mut m = EwmaTrust::new(0.5);
+        let p = PeerId(1);
+        m.record_direct(p, Conduct::Honest, 0);
+        // 0.5·0.5 + 0.5·1 = 0.75.
+        assert!((m.predict(p).p_honest - 0.75).abs() < 1e-12);
+        m.record_direct(p, Conduct::Dishonest, 0);
+        // 0.5·0.75 + 0.5·0 = 0.375.
+        assert!((m.predict(p).p_honest - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_witness_half_weight() {
+        let mut m = EwmaTrust::new(0.5);
+        let p = PeerId(1);
+        m.record_witness(WitnessReport {
+            witness: PeerId(9),
+            subject: p,
+            conduct: Conduct::Honest,
+            round: 0,
+        });
+        // λ·w = 0.25: 0.75·0.5 + 0.25·1 = 0.625.
+        assert!((m.predict(p).p_honest - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn ewma_invalid_rate() {
+        EwmaTrust::new(0.0);
+    }
+
+    #[test]
+    fn names_and_defaults() {
+        assert_eq!(MeanTrust::new().name(), "mean");
+        assert_eq!(EwmaTrust::default().name(), "ewma");
+        assert!((EwmaTrust::default().rate() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,428 @@
+//! Bayesian beta-reputation trust (the model of Mui, Mohtashemi &
+//! Halberstadt, HICSS 2002 — reference \[3\] of the paper).
+//!
+//! Each subject's honesty is modelled as an unknown Bernoulli parameter
+//! `θ` with a Beta(α, β) posterior. Direct experiences update the
+//! posterior with unit weight; witness reports are *discounted* by the
+//! evaluator's trust in the witness (fractional pseudo-counts), so
+//! slander by unknown or distrusted witnesses has limited effect.
+//!
+//! The trust estimate is the posterior mean `α / (α + β)`; the confidence
+//! is derived from the evidence mass, matching Mui et al.'s
+//! Chernoff-bound "reliability" notion (see [`crate::confidence`]).
+
+use crate::confidence::evidence_confidence;
+use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a [`BetaTrust`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaConfig {
+    /// Prior pseudo-count of honest observations (α₀ > 0).
+    pub prior_honest: f64,
+    /// Prior pseudo-count of dishonest observations (β₀ > 0).
+    pub prior_dishonest: f64,
+    /// Per-round exponential forgetting factor in `(0, 1]`; 1 = no
+    /// forgetting. Evidence from `d` rounds ago weighs `forgetting^d`.
+    pub forgetting: f64,
+    /// Weight multiplier for witness reports (before reliability
+    /// discounting), in `[0, 1]`.
+    pub witness_weight: f64,
+    /// Assumed reliability of a never-graded witness, in `[0, 1]`.
+    /// 0.5 ignores strangers entirely; the slightly optimistic default
+    /// (0.6) lets a cold-started community benefit from gossip while
+    /// graded liars still end up fully discounted.
+    pub witness_prior: f64,
+}
+
+impl Default for BetaConfig {
+    /// Uniform prior Beta(1, 1), no forgetting, witness weight ½,
+    /// witness prior 0.6.
+    fn default() -> Self {
+        BetaConfig {
+            prior_honest: 1.0,
+            prior_dishonest: 1.0,
+            forgetting: 1.0,
+            witness_weight: 0.5,
+            witness_prior: 0.6,
+        }
+    }
+}
+
+impl BetaConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when priors are non-positive, forgetting outside `(0, 1]`,
+    /// or witness weight outside `[0, 1]` — configurations are code, not
+    /// user input.
+    fn validate(&self) {
+        assert!(
+            self.prior_honest > 0.0 && self.prior_dishonest > 0.0,
+            "beta priors must be positive"
+        );
+        assert!(
+            self.forgetting > 0.0 && self.forgetting <= 1.0,
+            "forgetting must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.witness_weight),
+            "witness weight must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.witness_prior),
+            "witness prior must be in [0, 1]"
+        );
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct Evidence {
+    honest: f64,
+    dishonest: f64,
+    /// Round of the last decay application.
+    last_round: u64,
+}
+
+impl Evidence {
+    fn decay_to(&mut self, round: u64, forgetting: f64) {
+        if forgetting < 1.0 && round > self.last_round {
+            let f = forgetting.powf((round - self.last_round) as f64);
+            self.honest *= f;
+            self.dishonest *= f;
+        }
+        self.last_round = self.last_round.max(round);
+    }
+
+    fn add(&mut self, conduct: Conduct, weight: f64) {
+        match conduct {
+            Conduct::Honest => self.honest += weight,
+            Conduct::Dishonest => self.dishonest += weight,
+        }
+    }
+}
+
+/// The beta-posterior trust model.
+///
+/// # Examples
+///
+/// ```
+/// use trustex_trust::beta::BetaTrust;
+/// use trustex_trust::model::{Conduct, PeerId, TrustModel};
+///
+/// let mut model = BetaTrust::new();
+/// let alice = PeerId(1);
+/// for _ in 0..8 {
+///     model.record_direct(alice, Conduct::Honest, 0);
+/// }
+/// model.record_direct(alice, Conduct::Dishonest, 0);
+/// let est = model.predict(alice);
+/// // Posterior mean (1+8)/(2+9) ≈ 0.818.
+/// assert!((est.p_honest - 9.0 / 11.0).abs() < 1e-9);
+/// assert!(est.confidence > 0.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BetaTrust {
+    config: BetaConfig,
+    evidence: HashMap<PeerId, Evidence>,
+    /// Witness reliability estimates (their own beta evidence), used to
+    /// discount their reports.
+    witness_evidence: HashMap<PeerId, Evidence>,
+}
+
+impl Default for BetaTrust {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BetaTrust {
+    /// Creates a model with [`BetaConfig::default`].
+    pub fn new() -> BetaTrust {
+        BetaTrust::with_config(BetaConfig::default())
+    }
+
+    /// Creates a model with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration values (see [`BetaConfig`]).
+    pub fn with_config(config: BetaConfig) -> BetaTrust {
+        config.validate();
+        BetaTrust {
+            config,
+            evidence: HashMap::new(),
+            witness_evidence: HashMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> BetaConfig {
+        self.config
+    }
+
+    /// Marks a witness's report as later corroborated (`true`) or
+    /// contradicted (`false`) by direct experience — feeds the witness
+    /// reliability used for discounting.
+    pub fn grade_witness(&mut self, witness: PeerId, corroborated: bool, round: u64) {
+        let forgetting = self.config.forgetting;
+        let e = self.witness_evidence.entry(witness).or_default();
+        e.decay_to(round, forgetting);
+        e.add(Conduct::from_honest(corroborated), 1.0);
+    }
+
+    /// The evaluator's reliability estimate for a witness in `[0, 1]`.
+    pub fn witness_reliability(&self, witness: PeerId) -> f64 {
+        match self.witness_evidence.get(&witness) {
+            None => self.config.witness_prior,
+            Some(e) => {
+                (self.config.prior_honest + e.honest)
+                    / (self.config.prior_honest
+                        + self.config.prior_dishonest
+                        + e.honest
+                        + e.dishonest)
+            }
+        }
+    }
+
+    /// Raw posterior parameters `(α, β)` for a subject (including priors).
+    pub fn posterior(&self, subject: PeerId) -> (f64, f64) {
+        let e = self.evidence.get(&subject).copied().unwrap_or_default();
+        (
+            self.config.prior_honest + e.honest,
+            self.config.prior_dishonest + e.dishonest,
+        )
+    }
+}
+
+impl TrustModel for BetaTrust {
+    fn record_direct(&mut self, subject: PeerId, conduct: Conduct, round: u64) {
+        let forgetting = self.config.forgetting;
+        let e = self.evidence.entry(subject).or_default();
+        e.decay_to(round, forgetting);
+        e.add(conduct, 1.0);
+    }
+
+    fn record_witness(&mut self, report: WitnessReport) {
+        // Jøsang-style discounting: the report enters with weight
+        // witness_weight · (2·reliability − 1)⁺ — reports from witnesses
+        // at or below coin-flip reliability are ignored entirely.
+        let reliability = self.witness_reliability(report.witness);
+        let discount = (2.0 * reliability - 1.0).max(0.0);
+        let weight = self.config.witness_weight * discount;
+        if weight <= 0.0 {
+            return;
+        }
+        let forgetting = self.config.forgetting;
+        let e = self.evidence.entry(report.subject).or_default();
+        e.decay_to(report.round, forgetting);
+        e.add(report.conduct, weight);
+    }
+
+    fn predict(&self, subject: PeerId) -> TrustEstimate {
+        let (alpha, beta) = self.posterior(subject);
+        let mean = alpha / (alpha + beta);
+        // Evidence mass beyond the prior drives confidence.
+        let mass = (alpha + beta) - (self.config.prior_honest + self.config.prior_dishonest);
+        TrustEstimate::new(mean, evidence_confidence(mass))
+    }
+
+    fn name(&self) -> &'static str {
+        "beta"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: u64 = 0;
+
+    #[test]
+    fn prior_gives_half() {
+        let m = BetaTrust::new();
+        let e = m.predict(PeerId(9));
+        assert_eq!(e.p_honest, 0.5);
+        assert_eq!(e.confidence, 0.0);
+    }
+
+    #[test]
+    fn posterior_mean_matches_formula() {
+        let mut m = BetaTrust::new();
+        let p = PeerId(1);
+        for _ in 0..3 {
+            m.record_direct(p, Conduct::Honest, R);
+        }
+        m.record_direct(p, Conduct::Dishonest, R);
+        let (a, b) = m.posterior(p);
+        assert_eq!((a, b), (4.0, 2.0));
+        assert!((m.predict(p).p_honest - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_grows_with_evidence() {
+        let mut m = BetaTrust::new();
+        let p = PeerId(1);
+        let mut last = m.predict(p).confidence;
+        for i in 0..20 {
+            m.record_direct(p, Conduct::Honest, i);
+            let c = m.predict(p).confidence;
+            assert!(c >= last, "confidence must be monotone");
+            last = c;
+        }
+        assert!(last > 0.6, "confidence after 20 observations: {last}");
+    }
+
+    #[test]
+    fn forgetting_discounts_old_evidence() {
+        let cfg = BetaConfig {
+            forgetting: 0.5,
+            ..BetaConfig::default()
+        };
+        let mut m = BetaTrust::with_config(cfg);
+        let p = PeerId(1);
+        // 10 dishonest observations at round 0.
+        for _ in 0..10 {
+            m.record_direct(p, Conduct::Dishonest, 0);
+        }
+        assert!(m.predict(p).p_honest < 0.2);
+        // 5 honest at round 10: the old evidence has decayed by 2^-10.
+        for _ in 0..5 {
+            m.record_direct(p, Conduct::Honest, 10);
+        }
+        assert!(
+            m.predict(p).p_honest > 0.8,
+            "recent honesty should dominate: {}",
+            m.predict(p).p_honest
+        );
+    }
+
+    #[test]
+    fn no_forgetting_is_order_independent() {
+        let mut a = BetaTrust::new();
+        let mut b = BetaTrust::new();
+        let p = PeerId(1);
+        a.record_direct(p, Conduct::Honest, 0);
+        a.record_direct(p, Conduct::Dishonest, 5);
+        b.record_direct(p, Conduct::Dishonest, 5);
+        b.record_direct(p, Conduct::Honest, 0);
+        assert_eq!(a.predict(p).p_honest, b.predict(p).p_honest);
+    }
+
+    #[test]
+    fn unknown_witness_reports_weigh_little() {
+        let mut m = BetaTrust::new();
+        let subject = PeerId(1);
+        m.record_witness(WitnessReport {
+            witness: PeerId(2),
+            subject,
+            conduct: Conduct::Dishonest,
+            round: R,
+        });
+        // Unknown witness: prior reliability 0.6 → discount 0.2 →
+        // weight 0.1: a nudge, far from a direct observation.
+        let p = m.predict(subject).p_honest;
+        assert!(p < 0.5 && p > 0.45, "small nudge expected: {p}");
+    }
+
+    #[test]
+    fn neutral_witness_prior_ignores_strangers() {
+        let mut m = BetaTrust::with_config(BetaConfig {
+            witness_prior: 0.5,
+            ..BetaConfig::default()
+        });
+        m.record_witness(WitnessReport {
+            witness: PeerId(2),
+            subject: PeerId(1),
+            conduct: Conduct::Dishonest,
+            round: R,
+        });
+        assert_eq!(m.predict(PeerId(1)).p_honest, 0.5);
+    }
+
+    #[test]
+    fn reliable_witness_reports_move_the_estimate() {
+        let mut m = BetaTrust::new();
+        let witness = PeerId(2);
+        let subject = PeerId(1);
+        for _ in 0..10 {
+            m.grade_witness(witness, true, R);
+        }
+        assert!(m.witness_reliability(witness) > 0.9);
+        for round in 0..6 {
+            m.record_witness(WitnessReport {
+                witness,
+                subject,
+                conduct: Conduct::Dishonest,
+                round,
+            });
+        }
+        assert!(
+            m.predict(subject).p_honest < 0.4,
+            "trusted witness reports must matter: {}",
+            m.predict(subject).p_honest
+        );
+    }
+
+    #[test]
+    fn contradicted_witness_loses_influence() {
+        let mut m = BetaTrust::new();
+        let witness = PeerId(2);
+        for _ in 0..10 {
+            m.grade_witness(witness, false, R);
+        }
+        assert!(m.witness_reliability(witness) < 0.2);
+        let subject = PeerId(1);
+        m.record_witness(WitnessReport {
+            witness,
+            subject,
+            conduct: Conduct::Dishonest,
+            round: R,
+        });
+        assert_eq!(m.predict(subject).p_honest, 0.5, "slander ignored");
+    }
+
+    #[test]
+    fn witness_weight_zero_disables_witnesses() {
+        let mut m = BetaTrust::with_config(BetaConfig {
+            witness_weight: 0.0,
+            ..BetaConfig::default()
+        });
+        let witness = PeerId(2);
+        for _ in 0..10 {
+            m.grade_witness(witness, true, R);
+        }
+        m.record_witness(WitnessReport {
+            witness,
+            subject: PeerId(1),
+            conduct: Conduct::Dishonest,
+            round: R,
+        });
+        assert_eq!(m.predict(PeerId(1)).p_honest, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "priors must be positive")]
+    fn invalid_prior_panics() {
+        BetaTrust::with_config(BetaConfig {
+            prior_honest: 0.0,
+            ..BetaConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting")]
+    fn invalid_forgetting_panics() {
+        BetaTrust::with_config(BetaConfig {
+            forgetting: 1.5,
+            ..BetaConfig::default()
+        });
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(BetaTrust::new().name(), "beta");
+    }
+}

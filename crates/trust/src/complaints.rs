@@ -1,0 +1,362 @@
+//! Complaint-based trust (Aberer & Despotovic, CIKM 2001 — reference \[2\]
+//! of the paper).
+//!
+//! The CIKM 2001 system records only *negative* feedback: after a bad
+//! interaction, the wronged peer files a complaint `c(p, q)`. The key
+//! observation is that for an honest population both filing and receiving
+//! complaints are rare, while cheaters *receive* many complaints and
+//! liars *file* many; the product
+//!
+//! ```text
+//!   T(q) = (cr(q) + 1) · (cf(q) + 1)
+//! ```
+//!
+//! (complaints received × complaints filed, Laplace-shifted) is small for
+//! honest peers and large for misbehaving ones. A peer is assessed
+//! dishonest when its product exceeds a dispersion-based threshold of the
+//! observed sample — the decision rule the CIKM paper phrases as
+//! detecting outliers relative to the average behaviour.
+//!
+//! The module exposes both the paper-faithful binary decision
+//! ([`ComplaintTrust::assess`]) and a smooth probability mapping so the
+//! model can participate in the common [`TrustModel`] interface.
+
+use crate::confidence::evidence_confidence;
+use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the complaint-based model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComplaintConfig {
+    /// A peer is assessed dishonest when its complaint product exceeds
+    /// `outlier_factor` times the population median product.
+    pub outlier_factor: f64,
+    /// Weight of a witness-relayed complaint relative to a direct one.
+    pub witness_weight: f64,
+}
+
+impl Default for ComplaintConfig {
+    fn default() -> Self {
+        ComplaintConfig {
+            outlier_factor: 4.0,
+            witness_weight: 0.5,
+        }
+    }
+}
+
+/// Binary assessment in the style of the CIKM 2001 decision rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Assessment {
+    /// No evidence of misbehaviour beyond the population baseline.
+    Trustworthy,
+    /// Complaint product exceeds the outlier threshold.
+    Untrustworthy,
+}
+
+impl Assessment {
+    /// Whether the assessment is trustworthy.
+    pub fn is_trustworthy(self) -> bool {
+        matches!(self, Assessment::Trustworthy)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct Tally {
+    received: f64,
+    filed: f64,
+}
+
+/// The complaint-based trust model.
+///
+/// Direct dishonest experiences file complaints; witness reports relay
+/// complaints observed elsewhere (at reduced weight). Honest experiences
+/// do not generate data — faithfully to \[2\], which stores only
+/// complaints.
+///
+/// # Examples
+///
+/// ```
+/// use trustex_trust::complaints::{Assessment, ComplaintTrust};
+/// use trustex_trust::model::{Conduct, PeerId, TrustModel};
+///
+/// let mut model = ComplaintTrust::new();
+/// let cheater = PeerId(100);
+/// // Eight victims complain about the cheater.
+/// for victim in 0..8 {
+///     model.file_complaint(PeerId(victim), cheater, 0);
+/// }
+/// assert_eq!(model.assess(cheater), Assessment::Untrustworthy);
+/// assert!(model.predict(cheater).p_honest < 0.5);
+/// assert_eq!(model.assess(PeerId(1)), Assessment::Trustworthy);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComplaintTrust {
+    config: ComplaintConfig,
+    tallies: HashMap<PeerId, Tally>,
+    /// Known community size; peers without records count as product 1.0
+    /// when computing the population median.
+    population: Option<usize>,
+}
+
+impl Default for ComplaintTrust {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComplaintTrust {
+    /// Creates a model with the default configuration.
+    pub fn new() -> ComplaintTrust {
+        ComplaintTrust::with_config(ComplaintConfig::default())
+    }
+
+    /// Creates a model with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outlier_factor < 1` or `witness_weight ∉ [0, 1]`.
+    pub fn with_config(config: ComplaintConfig) -> ComplaintTrust {
+        assert!(config.outlier_factor >= 1.0, "outlier factor must be ≥ 1");
+        assert!(
+            (0.0..=1.0).contains(&config.witness_weight),
+            "witness weight must be in [0, 1]"
+        );
+        ComplaintTrust {
+            config,
+            tallies: HashMap::new(),
+            population: None,
+        }
+    }
+
+    /// Declares the community size, so that complaint-free peers enter
+    /// the median with the baseline product 1.0 — without it the median
+    /// is taken only over peers that appear in some complaint, which
+    /// overstates the baseline in quiet communities.
+    pub fn set_population(&mut self, n: usize) {
+        self.population = Some(n);
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ComplaintConfig {
+        self.config
+    }
+
+    /// Records a complaint filed by `by` about `about` with unit weight.
+    pub fn file_complaint(&mut self, by: PeerId, about: PeerId, _round: u64) {
+        self.add_complaint(by, about, 1.0);
+    }
+
+    fn add_complaint(&mut self, by: PeerId, about: PeerId, weight: f64) {
+        self.tallies.entry(about).or_default().received += weight;
+        self.tallies.entry(by).or_default().filed += weight;
+    }
+
+    /// The Laplace-shifted complaint product `T(q)`.
+    pub fn complaint_product(&self, peer: PeerId) -> f64 {
+        let t = self.tallies.get(&peer).copied().unwrap_or_default();
+        (t.received + 1.0) * (t.filed + 1.0)
+    }
+
+    /// Complaints received / filed by a peer (direct + discounted).
+    pub fn tally(&self, peer: PeerId) -> (f64, f64) {
+        let t = self.tallies.get(&peer).copied().unwrap_or_default();
+        (t.received, t.filed)
+    }
+
+    /// Median complaint product over the community: peers with records
+    /// contribute their product, the rest (when a population size is
+    /// declared) contribute the baseline 1.0. Returns 1.0 when empty.
+    pub fn median_product(&self) -> f64 {
+        if self.tallies.is_empty() {
+            return 1.0;
+        }
+        let mut products: Vec<f64> = self
+            .tallies
+            .values()
+            .map(|t| (t.received + 1.0) * (t.filed + 1.0))
+            .collect();
+        if let Some(n) = self.population {
+            let silent = n.saturating_sub(products.len());
+            products.extend(std::iter::repeat_n(1.0, silent));
+        }
+        products.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        products[products.len() / 2]
+    }
+
+    /// The CIKM-style binary decision: untrustworthy when the complaint
+    /// product exceeds `outlier_factor ×` the population median.
+    pub fn assess(&self, peer: PeerId) -> Assessment {
+        let threshold = self.config.outlier_factor * self.median_product();
+        if self.complaint_product(peer) > threshold {
+            Assessment::Untrustworthy
+        } else {
+            Assessment::Trustworthy
+        }
+    }
+}
+
+impl TrustModel for ComplaintTrust {
+    fn record_direct(&mut self, subject: PeerId, conduct: Conduct, _round: u64) {
+        // Only negative experiences produce data: the evaluator files a
+        // complaint against the subject. The evaluator's own filing
+        // tally is not part of its view of *others* (the reputation
+        // system tracks global filing counts; see `trustex-reputation`),
+        // so only the received side is bumped here.
+        if !conduct.is_honest() {
+            self.tallies.entry(subject).or_default().received += 1.0;
+        }
+    }
+
+    fn record_witness(&mut self, report: WitnessReport) {
+        if !report.conduct.is_honest() {
+            self.add_complaint(report.witness, report.subject, self.config.witness_weight);
+        }
+    }
+
+    fn predict(&self, subject: PeerId) -> TrustEstimate {
+        // Smooth mapping: the farther above the median the product lies,
+        // the lower the honesty estimate. At the median: ~0.5 + baseline;
+        // well below: near the baseline prior of honest communities.
+        let product = self.complaint_product(subject);
+        let median = self.median_product();
+        let ratio = product / (self.config.outlier_factor * median);
+        let p = 1.0 / (1.0 + ratio * ratio);
+        let (received, filed) = self.tally(subject);
+        TrustEstimate::new(p, evidence_confidence(received + filed))
+    }
+
+    fn name(&self) -> &'static str {
+        "complaints"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_data_is_trustworthy() {
+        let m = ComplaintTrust::new();
+        assert!(m.assess(PeerId(1)).is_trustworthy());
+        assert_eq!(m.complaint_product(PeerId(1)), 1.0);
+        assert_eq!(m.median_product(), 1.0);
+        let e = m.predict(PeerId(1));
+        assert!(e.p_honest > 0.9, "clean record should look honest");
+        assert_eq!(e.confidence, 0.0);
+    }
+
+    #[test]
+    fn cheater_detected_by_received_complaints() {
+        let mut m = ComplaintTrust::new();
+        let cheater = PeerId(99);
+        for v in 0..8 {
+            m.file_complaint(PeerId(v), cheater, 0);
+        }
+        assert_eq!(m.assess(cheater), Assessment::Untrustworthy);
+        // Victims each filed one complaint: product (0+1)(1+1)=2, median
+        // stays low, so victims remain trustworthy.
+        assert!(m.assess(PeerId(0)).is_trustworthy());
+        assert!(m.predict(cheater).p_honest < m.predict(PeerId(0)).p_honest);
+    }
+
+    #[test]
+    fn liar_detected_by_filed_complaints() {
+        let mut m = ComplaintTrust::new();
+        let liar = PeerId(50);
+        // The liar slanders many peers; a few honest complaints exist too.
+        for v in 0..10 {
+            m.file_complaint(liar, PeerId(v), 0);
+        }
+        m.file_complaint(PeerId(1), PeerId(2), 0);
+        assert_eq!(m.assess(liar), Assessment::Untrustworthy);
+        // Slander victims each received one complaint; with the median at
+        // (1+1)(0+1) = 2 they stay below the outlier threshold.
+        assert!(m.assess(PeerId(3)).is_trustworthy());
+    }
+
+    #[test]
+    fn tally_tracks_both_directions() {
+        let mut m = ComplaintTrust::new();
+        m.file_complaint(PeerId(1), PeerId(2), 0);
+        m.file_complaint(PeerId(2), PeerId(1), 0);
+        m.file_complaint(PeerId(3), PeerId(1), 0);
+        let (recv, filed) = m.tally(PeerId(1));
+        assert_eq!((recv, filed), (2.0, 1.0));
+        assert_eq!(m.complaint_product(PeerId(1)), 6.0);
+    }
+
+    #[test]
+    fn record_direct_files_only_on_dishonest() {
+        let mut m = ComplaintTrust::new();
+        let p = PeerId(1);
+        m.record_direct(p, Conduct::Honest, 0);
+        assert_eq!(m.tally(p), (0.0, 0.0));
+        m.record_direct(p, Conduct::Dishonest, 0);
+        assert_eq!(m.tally(p).0, 1.0);
+    }
+
+    #[test]
+    fn witness_complaints_discounted() {
+        let mut m = ComplaintTrust::new();
+        let subject = PeerId(1);
+        m.record_witness(WitnessReport {
+            witness: PeerId(2),
+            subject,
+            conduct: Conduct::Dishonest,
+            round: 0,
+        });
+        assert_eq!(m.tally(subject).0, 0.5, "default witness weight is 0.5");
+        // Honest witness reports produce nothing.
+        m.record_witness(WitnessReport {
+            witness: PeerId(2),
+            subject,
+            conduct: Conduct::Honest,
+            round: 0,
+        });
+        assert_eq!(m.tally(subject).0, 0.5);
+    }
+
+    #[test]
+    fn probability_monotone_in_complaints() {
+        let mut m = ComplaintTrust::new();
+        let subject = PeerId(1);
+        let mut last = m.predict(subject).p_honest;
+        for v in 2..12 {
+            m.file_complaint(PeerId(v), subject, 0);
+            let p = m.predict(subject).p_honest;
+            assert!(p <= last, "more complaints must not increase trust");
+            last = p;
+        }
+        assert!(last < 0.5, "ten complaints should drop below coin-flip: {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outlier factor")]
+    fn invalid_factor_panics() {
+        ComplaintTrust::with_config(ComplaintConfig {
+            outlier_factor: 0.5,
+            ..ComplaintConfig::default()
+        });
+    }
+
+    #[test]
+    fn assessment_threshold_scales_with_population() {
+        // In a noisy population where everyone has a few complaints, a
+        // peer with the same few complaints is NOT an outlier.
+        let mut m = ComplaintTrust::new();
+        for p in 0..10u32 {
+            for v in 0..3u32 {
+                m.file_complaint(PeerId(100 + v), PeerId(p), 0);
+            }
+        }
+        // Everyone has 3 received: products equal, nobody untrustworthy.
+        for p in 0..10u32 {
+            assert!(
+                m.assess(PeerId(p)).is_trustworthy(),
+                "uniform noise must not flag anyone"
+            );
+        }
+        assert_eq!(m.name(), "complaints");
+    }
+}

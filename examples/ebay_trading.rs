@@ -1,0 +1,46 @@
+//! An eBay-style community: heavy-tailed auction deals, a mixed honest /
+//! dishonest population, and the four scheduling strategies compared —
+//! the scenario the paper's introduction motivates via Resnick &
+//! Zeckhauser's eBay study.
+//!
+//! ```text
+//! cargo run --release --example ebay_trading
+//! ```
+
+use trust_aware_cooperation::market::prelude::*;
+use trust_aware_cooperation::market::sim::MarketConfig;
+use trustex_agents::profile::PopulationMix;
+
+fn main() {
+    println!("eBay-style market: 100 traders, 30% dishonest (a quarter of them lie)\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>14} {:>14}",
+        "strategy", "completed", "no-trade", "honest gain", "honest losses"
+    );
+    for strategy in Strategy::ALL {
+        let cfg = MarketConfig {
+            n_agents: 100,
+            rounds: 20,
+            sessions_per_round: 100,
+            mix: PopulationMix::standard(0.3, 0.25),
+            strategy,
+            workload: Workload::Ebay,
+            seed: 2002,
+            ..MarketConfig::default()
+        };
+        let report = MarketSim::new(cfg).run();
+        println!(
+            "{:<16} {:>10} {:>12} {:>14.1} {:>14.1}",
+            strategy.label(),
+            report.completed,
+            report.no_trade,
+            report.honest_gain,
+            report.honest_losses,
+        );
+    }
+    println!(
+        "\nThe trust-aware row is the paper's contribution: most of the welfare\n\
+         of unsafe trading, a fraction of its losses, and no trades forgone\n\
+         once trust is established."
+    );
+}

@@ -1,0 +1,28 @@
+//! # trust-aware-cooperation — umbrella crate
+//!
+//! A complete Rust reproduction of *Trust-Aware Cooperation* (Despotovic,
+//! Aberer, Hauswirth; ICDCS 2002): trust-aware scheduling of
+//! goods-for-money exchanges, together with every substrate the paper's
+//! reference architecture requires (reputation management over P-Grid,
+//! Bayesian and complaint-based trust learning, risk-aware decision
+//! making, behavioural agent models and an end-to-end market simulator).
+//!
+//! This crate re-exports the workspace members and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//! Start with [`core`]'s documentation for the theory, or run:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release -p trustex-bench --bin repro -- --smoke
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use trustex_agents as agents;
+pub use trustex_core as core;
+pub use trustex_decision as decision;
+pub use trustex_market as market;
+pub use trustex_netsim as netsim;
+pub use trustex_reputation as reputation;
+pub use trustex_trust as trust;
