@@ -34,7 +34,9 @@ fn bench_min_margin(c: &mut Criterion) {
 fn bench_full_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1/table");
     group.sample_size(10);
-    group.bench_function("smoke", |b| b.iter(|| black_box(e1_existence(Scale::Smoke))));
+    group.bench_function("smoke", |b| {
+        b.iter(|| black_box(e1_existence(Scale::Smoke)))
+    });
     group.finish();
 }
 

@@ -14,8 +14,7 @@ fn bench_schedule(c: &mut Criterion) {
     for w in Workload::ALL {
         let mut rng = SimRng::new(5);
         let deal = w.generate_deal(&mut rng);
-        let margins =
-            SafetyMargins::symmetric(deal.goods().total_surplus()).expect("non-negative");
+        let margins = SafetyMargins::symmetric(deal.goods().total_surplus()).expect("non-negative");
         group.bench_with_input(BenchmarkId::from_parameter(w.label()), &deal, |b, deal| {
             b.iter(|| {
                 black_box(

@@ -17,7 +17,15 @@ fn tradeable_deal(w: Workload, trusted: TrustEstimate) -> Deal {
     let mut rng = SimRng::new(12);
     loop {
         let deal = w.generate_deal(&mut rng);
-        if plan(Strategy::TrustAware, &deal, trusted, trusted, PaymentPolicy::Lazy).is_ok() {
+        if plan(
+            Strategy::TrustAware,
+            &deal,
+            trusted,
+            trusted,
+            PaymentPolicy::Lazy,
+        )
+        .is_ok()
+        {
             return deal;
         }
     }

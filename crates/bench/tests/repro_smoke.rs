@@ -1,0 +1,76 @@
+//! Fast end-to-end smoke test of the reproduction pipeline.
+//!
+//! Mirrors `cargo run -p trustex-bench --bin repro -- --smoke` twice
+//! over: once in-process through the experiment registry (so a failure
+//! points at the experiment that broke), and once by spawning the actual
+//! `repro` binary (so the CLI surface — flag parsing, experiment
+//! selection, exit codes — stays covered too).
+
+use std::process::Command;
+use trustex_bench::{find, render_block, Scale, ALL};
+
+/// Every experiment runs at smoke scale and produces a non-trivial table.
+#[test]
+fn all_experiments_run_at_smoke_scale() {
+    for experiment in &ALL {
+        let table = (experiment.run)(Scale::Smoke);
+        assert!(
+            !table.rows().is_empty(),
+            "experiment {} produced an empty table",
+            experiment.id
+        );
+        let rendered = render_block(&table);
+        assert!(
+            rendered.trim_start().starts_with("##"),
+            "experiment {} table does not render a markdown heading:\n{rendered}",
+            experiment.id
+        );
+    }
+}
+
+/// The registry lookup used by the CLI finds every id and nothing else.
+#[test]
+fn registry_lookup_is_consistent() {
+    for experiment in &ALL {
+        let found = find(experiment.id).expect("registered id must resolve");
+        assert_eq!(found.id, experiment.id);
+    }
+    assert!(find("e99").is_none());
+    assert!(find("").is_none());
+}
+
+/// The real binary completes `--smoke` and prints every experiment's tag.
+#[test]
+fn repro_binary_smoke_run_succeeds() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--smoke")
+        .output()
+        .expect("failed to spawn repro binary");
+    assert!(
+        output.status.success(),
+        "repro --smoke exited with {:?}\nstderr: {}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("smoke scale"), "missing smoke-scale header");
+    for experiment in &ALL {
+        assert!(
+            stdout.contains(&format!("[{}]", experiment.id)),
+            "experiment {} missing from repro output",
+            experiment.id
+        );
+    }
+}
+
+/// Unknown experiment ids are rejected with exit code 2.
+#[test]
+fn repro_binary_rejects_unknown_id() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--smoke", "e99"])
+        .output()
+        .expect("failed to spawn repro binary");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown experiment id"));
+}

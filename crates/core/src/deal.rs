@@ -36,14 +36,12 @@ pub enum DealError {
 impl fmt::Display for DealError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DealError::PriceBelowCost { price, total_cost } => write!(
-                f,
-                "price {price} below total supplier cost {total_cost}"
-            ),
-            DealError::PriceAboveValue { price, total_value } => write!(
-                f,
-                "price {price} above total consumer value {total_value}"
-            ),
+            DealError::PriceBelowCost { price, total_cost } => {
+                write!(f, "price {price} below total supplier cost {total_cost}")
+            }
+            DealError::PriceAboveValue { price, total_value } => {
+                write!(f, "price {price} above total consumer value {total_value}")
+            }
             DealError::NegativePrice => write!(f, "negative price"),
         }
     }
@@ -110,9 +108,9 @@ impl Deal {
     /// total surplus is negative, which `Goods` permits item-wise but not
     /// in aggregate here).
     pub fn with_split_surplus(goods: Goods) -> Result<Deal, DealError> {
-        let mid_micros =
-            (goods.total_supplier_cost().as_micros() + goods.total_consumer_value().as_micros())
-                / 2;
+        let mid_micros = (goods.total_supplier_cost().as_micros()
+            + goods.total_consumer_value().as_micros())
+            / 2;
         let price = Money::from_micros(mid_micros);
         Deal::new(goods, price)
     }

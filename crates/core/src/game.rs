@@ -233,11 +233,7 @@ mod tests {
         let seq = planned(&d, 2.0);
         let mut completed_before = false;
         for stake_units in 0..6 {
-            let eq = analyze(
-                &d,
-                &seq,
-                Stakes::symmetric(Money::from_units(stake_units)),
-            );
+            let eq = analyze(&d, &seq, Stakes::symmetric(Money::from_units(stake_units)));
             if completed_before {
                 assert!(eq.completes, "completion must be monotone in stakes");
             }

@@ -15,9 +15,7 @@ use std::fmt;
 ///
 /// Ids are dense indices assigned by [`Goods::new`]; they are only
 /// meaningful relative to their owning `Goods`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ItemId(pub(crate) u32);
 
 impl ItemId {

@@ -69,17 +69,15 @@ pub mod prelude {
     pub use crate::curves::{generate as generate_goods, CurveParams, CurveShape};
     pub use crate::deal::{Deal, DealError};
     pub use crate::execute::{
-        execute, max_future_temptation, DefectionOracle, ExchangeOutcome, ExchangeStatus,
-        Honest, RationalDefector,
+        execute, max_future_temptation, DefectionOracle, ExchangeOutcome, ExchangeStatus, Honest,
+        RationalDefector,
     };
     pub use crate::game::{analyze as analyze_game, min_supporting_stake, Equilibrium, Stakes};
     pub use crate::goods::{Goods, GoodsError, Item, ItemId};
     pub use crate::money::Money;
     pub use crate::policy::PaymentPolicy;
     pub use crate::safety::{SafetyCheck, SafetyMargins, SafetyWindow};
-    pub use crate::scheduler::{
-        feasible, min_required_margin, schedule, Algorithm, ScheduleError,
-    };
+    pub use crate::scheduler::{feasible, min_required_margin, schedule, Algorithm, ScheduleError};
     pub use crate::sequence::{verify, Action, ExchangeSequence, VerifiedSequence, VerifyError};
     pub use crate::state::{ExchangeState, Progress, Role, StateView};
 }

@@ -338,14 +338,8 @@ mod tests {
     fn checked_ops_at_extremes() {
         assert_eq!(Money::MAX.checked_add(Money::from_micros(1)), None);
         assert_eq!(Money::MIN.checked_sub(Money::from_micros(1)), None);
-        assert_eq!(
-            Money::MAX.saturating_add(Money::from_units(1)),
-            Money::MAX
-        );
-        assert_eq!(
-            Money::MIN.saturating_sub(Money::from_units(1)),
-            Money::MIN
-        );
+        assert_eq!(Money::MAX.saturating_add(Money::from_units(1)), Money::MAX);
+        assert_eq!(Money::MIN.saturating_sub(Money::from_units(1)), Money::MIN);
     }
 
     #[test]

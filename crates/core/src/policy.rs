@@ -56,9 +56,7 @@ impl PaymentPolicy {
         match self {
             PaymentPolicy::Lazy => hi,
             PaymentPolicy::Eager => lo,
-            PaymentPolicy::Balanced => {
-                Money::from_micros((lo.as_micros() + hi.as_micros()) / 2)
-            }
+            PaymentPolicy::Balanced => Money::from_micros((lo.as_micros() + hi.as_micros()) / 2),
         }
     }
 }

@@ -220,10 +220,7 @@ pub fn feasible(goods: &Goods, margins: SafetyMargins) -> bool {
 /// # Errors
 ///
 /// [`ScheduleError::Infeasible`] when at some step nothing is placeable.
-pub fn sandholm_order(
-    goods: &Goods,
-    margins: SafetyMargins,
-) -> Result<Vec<ItemId>, ScheduleError> {
+pub fn sandholm_order(goods: &Goods, margins: SafetyMargins) -> Result<Vec<ItemId>, ScheduleError> {
     let eps = margins.total();
     let mut remaining: Vec<ItemId> = goods.ids().collect();
     let mut placed_surplus = Money::ZERO; // s(W)
@@ -274,9 +271,7 @@ pub fn sandholm_order(
         // surplus while positives are still pending, the positives are
         // unplaceable now and forever.
         match best {
-            Some((pos, id))
-                if !any_positive_left || goods.item(id).surplus().is_positive() =>
-            {
+            Some((pos, id)) if !any_positive_left || goods.item(id).surplus().is_positive() => {
                 placed_surplus += goods.item(id).surplus();
                 reversed.push(id);
                 remaining.swap_remove(pos);
@@ -591,13 +586,14 @@ mod tests {
         // Deterministic pseudo-random instances, n ≤ 6, several margins.
         let mut x = 2u64;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..60 {
             let n = 1 + (trial % 6);
-            let pairs: Vec<(f64, f64)> =
-                (0..n).map(|_| (next() * 8.0, next() * 8.0)).collect();
+            let pairs: Vec<(f64, f64)> = (0..n).map(|_| (next() * 8.0, next() * 8.0)).collect();
             let g = goods(&pairs);
             for eps_units in [0.0, 0.5, 1.5, 4.0, 10.0] {
                 let m = margins(eps_units);
@@ -675,7 +671,10 @@ mod tests {
         let pairs: Vec<(f64, f64)> = (0..25).map(|i| (1.0, 2.0 + i as f64)).collect();
         let g = goods(&pairs);
         let err = subset_dp_order(&g, margins(100.0)).unwrap_err();
-        assert!(matches!(err, ScheduleError::TooManyItems { n_items: 25, .. }));
+        assert!(matches!(
+            err,
+            ScheduleError::TooManyItems { n_items: 25, .. }
+        ));
     }
 
     #[test]

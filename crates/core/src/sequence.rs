@@ -513,10 +513,8 @@ mod tests {
         let goods = Goods::from_f64_pairs(&[(0.0, 5.0)]).unwrap();
         let deal = Deal::new(goods, Money::from_units(4)).unwrap();
         let id = deal.goods().ids().next().unwrap();
-        let seq = ExchangeSequence::new(vec![
-            Action::Pay(Money::from_units(4)),
-            Action::Deliver(id),
-        ]);
+        let seq =
+            ExchangeSequence::new(vec![Action::Pay(Money::from_units(4)), Action::Deliver(id)]);
         let v = verify(&deal, SafetyMargins::fully_safe(), &seq).unwrap();
         assert_eq!(v.max_consumer_temptation(), Money::ZERO);
         assert_eq!(v.max_supplier_temptation(), Money::ZERO);

@@ -78,8 +78,7 @@ pub fn exposure_bound(opponent: TrustEstimate, gain: Money, policy: ExposurePoli
     if !gain.is_positive() {
         return Money::ZERO;
     }
-    let budget_fraction =
-        (policy.base_budget_fraction * policy.risk.multiplier()).clamp(0.0, 1.0);
+    let budget_fraction = (policy.base_budget_fraction * policy.risk.multiplier()).clamp(0.0, 1.0);
     let budget = gain.scale(budget_fraction);
     let p = effective_dishonesty(opponent);
     if p <= 0.0 {

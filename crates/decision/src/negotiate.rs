@@ -213,8 +213,13 @@ mod tests {
     #[test]
     fn high_trust_schedules() {
         let d = deal();
-        let nx = plan_exchange(&d, inputs(0.95, 1.0), inputs(0.95, 1.0), PaymentPolicy::Lazy)
-            .expect("high trust must trade");
+        let nx = plan_exchange(
+            &d,
+            inputs(0.95, 1.0),
+            inputs(0.95, 1.0),
+            PaymentPolicy::Lazy,
+        )
+        .expect("high trust must trade");
         assert!(nx.margins.total() >= min_required_margin(d.goods()));
         assert_eq!(nx.plan.sequence().delivery_count(), 3);
     }
@@ -243,8 +248,13 @@ mod tests {
         let d = tight_deal();
         assert_eq!(min_required_margin(d.goods()), Money::from_units(3));
         // p̂ = 0.45 ≤ ceiling ⇒ both engage; ε each ≈ 0.05/0.45 ≈ 0.11.
-        let err = plan_exchange(&d, inputs(0.55, 1.0), inputs(0.55, 1.0), PaymentPolicy::Lazy)
-            .unwrap_err();
+        let err = plan_exchange(
+            &d,
+            inputs(0.55, 1.0),
+            inputs(0.55, 1.0),
+            PaymentPolicy::Lazy,
+        )
+        .unwrap_err();
         match err {
             PlanError::MarginsTooTight {
                 required_micros,
@@ -304,12 +314,7 @@ mod tests {
         // Unknown opponents: p_eff = 0.5, at the default ceiling; the
         // margins derived from the prior are small (≈0.1 a side), so the
         // plan fails with tight margins rather than a decline.
-        let r = plan_exchange(
-            &d,
-            inputs(0.5, 0.0),
-            inputs(0.5, 0.0),
-            PaymentPolicy::Lazy,
-        );
+        let r = plan_exchange(&d, inputs(0.5, 0.0), inputs(0.5, 0.0), PaymentPolicy::Lazy);
         assert!(matches!(r, Err(PlanError::MarginsTooTight { .. })), "{r:?}");
     }
 
@@ -320,6 +325,9 @@ mod tests {
             available_micros: 3,
         };
         assert!(e.to_string().contains("required 5µ"));
-        assert_eq!(PlanError::SupplierDeclined.to_string(), "supplier declined to engage");
+        assert_eq!(
+            PlanError::SupplierDeclined.to_string(),
+            "supplier declined to engage"
+        );
     }
 }

@@ -9,8 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A party's attitude towards exposure risk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum RiskProfile {
     /// Accepts a risk budget equal to the base fraction of its gain.
     #[default]
@@ -27,7 +26,6 @@ pub enum RiskProfile {
         gamma: f64,
     },
 }
-
 
 impl RiskProfile {
     /// The multiplier applied to the base risk budget.

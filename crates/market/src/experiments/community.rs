@@ -24,7 +24,10 @@ fn base_cfg(scale: Scale) -> MarketConfig {
 /// captures (most of) the gains of unsafe trading in honest populations
 /// while bounding losses in hostile ones; safe-only forgoes everything.
 pub fn e4_strategies(scale: Scale) -> Table {
-    let fractions: &[f64] = scale.pick(&[0.0, 0.3, 0.6][..], &[0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9][..]);
+    let fractions: &[f64] = scale.pick(
+        &[0.0, 0.3, 0.6][..],
+        &[0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9][..],
+    );
     let mut table = Table::new(
         "E4: honest welfare per session / honest losses, by strategy and dishonest fraction",
         &[
@@ -78,10 +81,7 @@ pub fn e5_trust_accuracy(scale: Scale) -> Table {
             };
             let sim = MarketSim::new(cfg);
             // Run and inspect the final community.
-            let community_metrics = {
-                
-                run_keeping_community(sim)
-            };
+            let community_metrics = { run_keeping_community(sim) };
             table.push_row(vec![
                 model.label().into(),
                 liars.into(),
@@ -172,14 +172,19 @@ pub fn e9_convergence(scale: Scale) -> Table {
                 .collect(),
         );
     }
-    let rounds = columns[0].len();
-    for round in 0..rounds {
+    for (round, (((beta, complaints), mean), ewma)) in columns[0]
+        .iter()
+        .zip(&columns[1])
+        .zip(&columns[2])
+        .zip(&columns[3])
+        .enumerate()
+    {
         table.push_row(vec![
             round.into(),
-            columns[0][round].into(),
-            columns[1][round].into(),
-            columns[2][round].into(),
-            columns[3][round].into(),
+            (*beta).into(),
+            (*complaints).into(),
+            (*mean).into(),
+            (*ewma).into(),
         ]);
     }
     table
@@ -215,10 +220,7 @@ mod tests {
         // At the largest dishonest fraction, trust-aware honest losses
         // per session are below deliver-first's.
         let rows: Vec<_> = t.rows().iter().collect();
-        let hostile: Vec<_> = rows
-            .iter()
-            .filter(|r| num(&r[0]) >= 0.59)
-            .collect();
+        let hostile: Vec<_> = rows.iter().filter(|r| num(&r[0]) >= 0.59).collect();
         let ta = hostile
             .iter()
             .find(|r| matches!(&r[1], Cell::Text(s) if s == "trust-aware"))
@@ -242,7 +244,8 @@ mod tests {
             t.rows()
                 .iter()
                 .find(|r| {
-                    matches!(&r[0], Cell::Text(s) if s == model) && (num(&r[1]) - liars).abs() < 1e-9
+                    matches!(&r[0], Cell::Text(s) if s == model)
+                        && (num(&r[1]) - liars).abs() < 1e-9
                 })
                 .map(|r| num(&r[2]))
                 .expect("row present")

@@ -52,8 +52,7 @@ pub fn e1_existence(scale: Scale) -> Table {
                 };
                 let mut draw = || rng.f64();
                 let goods = generate(shape, params, &mut draw).expect("n ≥ 1");
-                let mean_cost =
-                    goods.total_supplier_cost().as_f64() / goods.len() as f64;
+                let mean_cost = goods.total_supplier_cost().as_f64() / goods.len() as f64;
                 let req = min_required_margin(&goods);
                 if req.is_zero() {
                     safe0 += 1;
@@ -125,12 +124,7 @@ pub fn e2_scaling(scale: Scale) -> Table {
         sandholm_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let g = greedy_times[greedy_times.len() / 2];
         let s = sandholm_times[sandholm_times.len() / 2];
-        table.push_row(vec![
-            n.into(),
-            g.into(),
-            s.into(),
-            (s / g.max(1e-9)).into(),
-        ]);
+        table.push_row(vec![n.into(), g.into(), s.into(), (s / g.max(1e-9)).into()]);
     }
     table
 }

@@ -78,8 +78,7 @@ pub fn e0_pipeline(scale: Scale) -> Table {
                 let s_trust = match consumer_tally {
                     Some(t) => {
                         let est = tally_to_estimate(t.received, t.filed, median_product);
-                        products_seen
-                            .push((t.received as f64 + 1.0) * (t.filed as f64 + 1.0));
+                        products_seen.push((t.received as f64 + 1.0) * (t.filed as f64 + 1.0));
                         est
                     }
                     None => TrustEstimate::UNKNOWN,
@@ -87,8 +86,7 @@ pub fn e0_pipeline(scale: Scale) -> Table {
                 let c_trust = match supplier_tally {
                     Some(t) => {
                         let est = tally_to_estimate(t.received, t.filed, median_product);
-                        products_seen
-                            .push((t.received as f64 + 1.0) * (t.filed as f64 + 1.0));
+                        products_seen.push((t.received as f64 + 1.0) * (t.filed as f64 + 1.0));
                         est
                     }
                     None => TrustEstimate::UNKNOWN,
@@ -124,9 +122,7 @@ pub fn e0_pipeline(scale: Scale) -> Table {
                     (supplier, outcome.supplier_gain.as_f64()),
                     (consumer, outcome.consumer_gain.as_f64()),
                 ] {
-                    if profiles[agent.index()].exchange.is_fundamentally_honest()
-                        && gain < 0.0
-                    {
+                    if profiles[agent.index()].exchange.is_fundamentally_honest() && gain < 0.0 {
                         honest_losses += -gain;
                     }
                 }
@@ -204,7 +200,10 @@ mod tests {
         let clean = tally_to_estimate(0, 0, 1.0);
         let dirty = tally_to_estimate(10, 0, 1.0);
         assert!(clean.p_honest > dirty.p_honest);
-        assert!(clean.confidence < dirty.confidence, "complaints are evidence");
+        assert!(
+            clean.confidence < dirty.confidence,
+            "complaints are evidence"
+        );
         let liar = tally_to_estimate(0, 10, 1.0);
         assert!(liar.p_honest < clean.p_honest);
     }

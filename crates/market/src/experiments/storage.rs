@@ -244,16 +244,18 @@ mod tests {
             .map(|r| num(&r[3]))
             .collect();
         assert_eq!(repl.len(), 4);
-        assert!(
-            repl[3] > repl[0],
-            "r=8 must beat r=1 under churn: {repl:?}"
-        );
+        assert!(repl[3] > repl[0], "r=8 must beat r=1 under churn: {repl:?}");
     }
 
     #[test]
     fn e10_has_all_groups() {
         let t = e10_ablations(Scale::Smoke);
-        for group in ["payment-policy", "gossip", "replication", "witness-discounting"] {
+        for group in [
+            "payment-policy",
+            "gossip",
+            "replication",
+            "witness-discounting",
+        ] {
             assert!(
                 t.rows()
                     .iter()

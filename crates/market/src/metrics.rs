@@ -32,7 +32,11 @@ pub fn trust_mae(community: &Community) -> f64 {
 /// an AUC analogue. Returns 0.5 when either class is empty.
 pub fn rank_accuracy(community: &Community) -> f64 {
     let ids: Vec<PeerId> = community.agent_ids().collect();
-    let honest: Vec<PeerId> = ids.iter().copied().filter(|a| community.is_honest(*a)).collect();
+    let honest: Vec<PeerId> = ids
+        .iter()
+        .copied()
+        .filter(|a| community.is_honest(*a))
+        .collect();
     let dishonest: Vec<PeerId> = ids
         .iter()
         .copied()
@@ -144,7 +148,10 @@ mod tests {
     #[test]
     fn rank_accuracy_perfect_after_education() {
         let mut c = community(0.5);
-        assert!((rank_accuracy(&c) - 0.5).abs() < 1e-9, "cold start is a coin flip");
+        assert!(
+            (rank_accuracy(&c) - 0.5).abs() < 1e-9,
+            "cold start is a coin flip"
+        );
         educate(&mut c, 5);
         assert_eq!(rank_accuracy(&c), 1.0);
     }

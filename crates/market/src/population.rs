@@ -178,12 +178,16 @@ impl Community {
 
     /// Ground truth cooperation probability of an agent.
     pub fn true_cooperation_prob(&self, agent: PeerId) -> f64 {
-        self.profiles[agent.index()].exchange.true_cooperation_prob()
+        self.profiles[agent.index()]
+            .exchange
+            .true_cooperation_prob()
     }
 
     /// Whether an agent is fundamentally honest (ground truth).
     pub fn is_honest(&self, agent: PeerId) -> bool {
-        self.profiles[agent.index()].exchange.is_fundamentally_honest()
+        self.profiles[agent.index()]
+            .exchange
+            .is_fundamentally_honest()
     }
 
     /// Records `evaluator`'s direct experience with `subject` and grades
@@ -198,11 +202,7 @@ impl Community {
         self.models[evaluator.index()].record_direct(subject, conduct, round);
         if let Some(reports) = self.pending.remove(&(evaluator, subject)) {
             for (witness, claimed) in reports {
-                self.models[evaluator.index()].grade_witness(
-                    witness,
-                    claimed == conduct,
-                    round,
-                );
+                self.models[evaluator.index()].grade_witness(witness, claimed == conduct, round);
             }
         }
     }

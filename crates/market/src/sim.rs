@@ -314,7 +314,8 @@ impl MarketSim {
     /// Records `observer`'s direct experience and gossips the (possibly
     /// distorted) report to random witnesses.
     fn feedback(&mut self, observer: PeerId, subject: PeerId, truth: Conduct, round: u64) {
-        self.community.record_direct(observer, subject, truth, round);
+        self.community
+            .record_direct(observer, subject, truth, round);
         let reporting = self.community.profile(observer).reporting;
         if let Some(shaped) = reporting.report(truth) {
             self.gossip(observer, subject, shaped, round);
@@ -420,6 +421,9 @@ mod tests {
         assert!(r.per_round.iter().all(|s| s.trust_mae.is_some()));
         let first = r.per_round.first().unwrap().trust_mae.unwrap();
         let last = r.per_round.last().unwrap().trust_mae.unwrap();
-        assert!(last <= first, "trust error should not grow: {first} -> {last}");
+        assert!(
+            last <= first,
+            "trust error should not grow: {first} -> {last}"
+        );
     }
 }

@@ -27,7 +27,11 @@ fn headline_claim_trust_aware_dominates() {
 
     // (a) Safe-only forgoes all trade on positive-cost goods.
     assert_eq!(safe.completed, 0);
-    assert!(aware.completed > 100, "trust-aware trades: {}", aware.completed);
+    assert!(
+        aware.completed > 100,
+        "trust-aware trades: {}",
+        aware.completed
+    );
 
     // (b) The naive strategy haemorrhages honest welfare to rational
     // defectors; trust-aware bounds the exposure.

@@ -43,7 +43,11 @@ pub struct SimRng {
 impl fmt::Debug for SimRng {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // The internal state is an implementation detail; show a fingerprint.
-        write!(f, "SimRng({:#018x})", self.s[0] ^ self.s[1] ^ self.s[2] ^ self.s[3])
+        write!(
+            f,
+            "SimRng({:#018x})",
+            self.s[0] ^ self.s[1] ^ self.s[2] ^ self.s[3]
+        )
     }
 }
 

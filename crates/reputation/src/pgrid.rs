@@ -526,7 +526,9 @@ mod tests {
             match g.route(origin, key, None, &mut net, &mut rng) {
                 Some((peer, _hops, _)) => {
                     assert!(
-                        g.peer(peer).path().is_prefix_of_key(key, g.config().key_bits),
+                        g.peer(peer)
+                            .path()
+                            .is_prefix_of_key(key, g.config().key_bits),
                         "landed on non-responsible peer"
                     );
                 }
@@ -611,9 +613,9 @@ mod tests {
         g.insert(0, key, c, None, &mut net, &mut rng);
         // Take down 30% of peers (but keep the origin up).
         let mut alive = vec![true; g.len()];
-        for i in 0..g.len() {
+        for (i, up) in alive.iter_mut().enumerate() {
             if i != 4 && rng.chance(0.3) {
-                alive[i] = false;
+                *up = false;
             }
         }
         let mut resolved = 0;

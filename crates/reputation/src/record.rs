@@ -10,9 +10,7 @@ use std::fmt;
 use trustex_trust::model::PeerId;
 
 /// A complaint: `by` reports that `about` misbehaved at `round`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Complaint {
     /// The filing peer.
     pub by: PeerId,
@@ -24,7 +22,11 @@ pub struct Complaint {
 
 impl fmt::Display for Complaint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "complaint({} → {} @ {})", self.by, self.about, self.round)
+        write!(
+            f,
+            "complaint({} → {} @ {})",
+            self.by, self.about, self.round
+        )
     }
 }
 
@@ -206,8 +208,9 @@ mod tests {
         let b = key_for_peer(PeerId(1), 16);
         assert_eq!(a, b);
         // Different peers land on different keys almost surely.
-        let distinct: std::collections::HashSet<u32> =
-            (0..100).map(|i| key_for_peer(PeerId(i), 16).bits()).collect();
+        let distinct: std::collections::HashSet<u32> = (0..100)
+            .map(|i| key_for_peer(PeerId(i), 16).bits())
+            .collect();
         assert!(distinct.len() > 95, "poor key spread: {}", distinct.len());
         // Width masking.
         assert!(key_for_peer(PeerId(7), 4).bits() < 16);

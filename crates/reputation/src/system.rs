@@ -32,15 +32,13 @@ pub struct TallyReport {
 }
 
 /// Configuration of a [`ReputationSystem`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct ReputationConfig {
     /// P-Grid parameters.
     pub grid: PGridConfig,
     /// Network parameters (latency/drops) for storage traffic.
     pub net: NetConfig,
 }
-
 
 /// Decentralised complaint storage over P-Grid.
 #[derive(Debug, Clone)]
@@ -193,7 +191,11 @@ impl CentralStore {
 
     /// Exact complaint tally for a subject.
     pub fn tally(&self, subject: PeerId) -> (u64, u64) {
-        let received = self.complaints.iter().filter(|c| c.about == subject).count() as u64;
+        let received = self
+            .complaints
+            .iter()
+            .filter(|c| c.about == subject)
+            .count() as u64;
         let filed = self.complaints.iter().filter(|c| c.by == subject).count() as u64;
         (received, filed)
     }
@@ -267,7 +269,10 @@ mod tests {
                 }
             }
         }
-        assert!(exact >= 7, "majority voting should survive 20% liars: {exact}/10");
+        assert!(
+            exact >= 7,
+            "majority voting should survive 20% liars: {exact}/10"
+        );
     }
 
     #[test]

@@ -328,7 +328,10 @@ mod tests {
             assert!(p <= last, "more complaints must not increase trust");
             last = p;
         }
-        assert!(last < 0.5, "ten complaints should drop below coin-flip: {last}");
+        assert!(
+            last < 0.5,
+            "ten complaints should drop below coin-flip: {last}"
+        );
     }
 
     #[test]

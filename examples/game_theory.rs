@@ -23,13 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let margins = SafetyMargins::symmetric(Money::from_f64(0.75))?;
     let plan = schedule(&deal, margins, PaymentPolicy::Lazy, Algorithm::Greedy)?;
     let seq = plan.sequence();
-    println!(
-        "scheduled {} steps under margins {margins}\n",
-        seq.len()
-    );
+    println!("scheduled {} steps under margins {margins}\n", seq.len());
 
     // Sweep the symmetric outside stake and watch the equilibrium flip.
-    println!("{:>10}  {:>10}  {:>22}", "stake", "completes?", "first defection");
+    println!(
+        "{:>10}  {:>10}  {:>22}",
+        "stake", "completes?", "first defection"
+    );
     for stake_milli in [0i64, 250, 500, 750, 1_000, 1_500] {
         let stake = Money::from_micros(stake_milli * 1_000);
         let eq = analyze(&deal, seq, Stakes::symmetric(stake));
@@ -37,7 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some((role, step)) => format!("{role} at step {step}"),
             None => "—".to_owned(),
         };
-        println!("{:>10}  {:>10}  {:>22}", stake.to_string(), eq.completes, defection);
+        println!(
+            "{:>10}  {:>10}  {:>22}",
+            stake.to_string(),
+            eq.completes,
+            defection
+        );
     }
 
     // The exact threshold, and its relationship to the margins.

@@ -43,7 +43,10 @@ fn figure_one_loop_assembled_manually() {
     let outcome = execute(&deal, nx.plan.sequence(), &mut Honest, &mut defector);
     assert!(matches!(
         outcome.status,
-        ExchangeStatus::Aborted { by: Role::Consumer, .. }
+        ExchangeStatus::Aborted {
+            by: Role::Consumer,
+            ..
+        }
     ));
     // Bounded damage: the consumer's haul beyond its rightful surplus is
     // at most the margin the supplier granted.
@@ -122,8 +125,8 @@ fn verified_sequences_complete_under_covered_stakes() {
     for workload in Workload::ALL {
         for _ in 0..20 {
             let deal = workload.generate_deal(&mut rng);
-            let margins = SafetyMargins::symmetric(deal.goods().total_surplus())
-                .expect("non-negative");
+            let margins =
+                SafetyMargins::symmetric(deal.goods().total_surplus()).expect("non-negative");
             let plan = schedule(&deal, margins, PaymentPolicy::Balanced, Algorithm::Greedy)
                 .expect("wide margins schedule");
             let mut s = RationalDefector {

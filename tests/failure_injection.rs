@@ -113,7 +113,10 @@ fn exit_scam_is_caught_after_the_turn() {
         }
         model.record_direct(victim_view, Conduct::from_honest(honest), round);
     }
-    assert_eq!(completions_before_turn, 10, "scammer farms reputation first");
+    assert_eq!(
+        completions_before_turn, 10,
+        "scammer farms reputation first"
+    );
     assert_eq!(completions_after_turn, 0, "then defects every time");
     let estimate = model.predict(victim_view);
     assert!(

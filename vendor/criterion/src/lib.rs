@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of criterion's API that the `e0`–`e10` benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`Throughput`], [`criterion_group!`] and [`criterion_main!`] — backed
+//! by a deliberately simple wall-clock sampler: each benchmark is warmed
+//! up once, then timed over an adaptive number of iterations bounded by a
+//! per-benchmark time budget, and the mean ns/iter is printed.
+//!
+//! Two command-line flags mirror the real harness closely enough for
+//! cargo integration: `--test` runs every benchmark body exactly once
+//! (this is what `cargo test --benches` passes), and a positional
+//! `<filter>` substring restricts which benchmarks run. All other flags
+//! (`--bench`, which cargo passes to bench targets) are ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget for the adaptive sampler.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// How the harness should treat each registered benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Warm up, then sample adaptively and report ns/iter.
+    Measure,
+    /// Run the body exactly once (smoke mode; `--test`).
+    TestOnce,
+}
+
+/// Stand-in for `criterion::Criterion`, the harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::TestOnce,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single function under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.0, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, f: &mut F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::TestOnce => println!("test {name} ... ok"),
+            Mode::Measure => println!("{name:<50} {:>14.1} ns/iter", bencher.mean_ns),
+        }
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`: scopes related benchmarks
+/// under a shared name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the throughput of each iteration (recorded, not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Set the target sample count (the stub's adaptive sampler ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the target measurement time (the stub's budget is fixed).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up time (the stub always warms up with one call).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmark a function parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion
+            .run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group. (The stub keeps no cross-group state.)
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::Bencher`: times the closure passed to
+/// [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            return;
+        }
+        // Warm-up call doubles as the pilot measurement.
+        let pilot_start = Instant::now();
+        black_box(routine());
+        let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+
+        // Choose an iteration count that fits the time budget.
+        let iters = (TIME_BUDGET.as_nanos() / pilot.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Benchmark identifier; renders as `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A two-part id: function name plus parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id that is just the parameter value (group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Stand-in for `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes processed per iteration, reported in decimal units.
+    BytesDecimal(u64),
+}
+
+/// Identity function the optimiser must treat as opaque
+/// (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` that runs each group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

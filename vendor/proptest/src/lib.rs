@@ -1,0 +1,561 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the (small) subset of proptest that the workspace's
+//! property tests use:
+//!
+//! - the [`Strategy`] trait with [`Strategy::prop_map`], implemented for
+//!   integer/float ranges, tuples of strategies, and [`Just`];
+//! - [`collection::vec`] with proptest's `SizeRange` conversions;
+//! - [`any`] for the primitive types the tests draw;
+//! - the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted
+//! failure seeds: generation is fully deterministic — the RNG stream for
+//! every case is derived from the test's name and the case index — so a
+//! failure reproduces exactly by re-running the same test binary. Each
+//! test runs `ProptestConfig::cases` accepted cases (default 256,
+//! overridable via the `PROPTEST_CASES` environment variable); cases
+//! rejected by [`prop_assume!`] are retried with fresh inputs up to a
+//! 64× attempt budget; exhausting that budget fails the test (as real
+//! proptest does on too many global rejects) rather than passing
+//! vacuously.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG machinery driving every strategy.
+pub mod test_runner {
+    /// SplitMix64 generator; the whole framework draws from this.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one test case, derived from the test name and the
+        /// attempt index so every case is independent and reproducible.
+        pub fn for_case(test_name: &str, attempt: u64) -> Self {
+            // FNV-1a over the test name, then perturb by the attempt.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64-bit draw (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case is a genuine counterexample.
+    Fail(String),
+    /// The drawn inputs did not satisfy a [`prop_assume!`] precondition.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection (input precondition unmet).
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test-case values, mirroring `proptest::strategy::Strategy`.
+///
+/// The stub keeps only what the workspace needs: sampling and
+/// [`prop_map`](Strategy::prop_map). There is no shrinking tree.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Uniform over [0,1] *inclusive* so the upper bound is reachable.
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical whole-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `A`, mirroring `proptest::prelude::any`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy and length range, mirroring
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything the tests glob-import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespaced re-exports (`prop::collection::vec`, …), mirroring the
+    /// `prop` module the real prelude exposes.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property test; on failure the current
+/// case is reported as a counterexample.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+/// Assert two values are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                left
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless a precondition holds; rejected cases
+/// are retried with fresh inputs and do not count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the `#![proptest_config(expr)]` inner attribute and any
+/// number of `#[test] fn name(pat in strategy, …) { … }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let max_attempts = u64::from(config.cases) * 64;
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            while accepted < config.cases && attempt < max_attempts {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    ::core::concat!(::core::module_path!(), "::", ::core::stringify!($name)),
+                    attempt,
+                );
+                attempt += 1;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest '{}' failed at attempt {} (re-run this binary to reproduce deterministically):\n{}",
+                        ::core::stringify!($name),
+                        attempt - 1,
+                        msg
+                    ),
+                }
+            }
+            if accepted < config.cases {
+                panic!(
+                    "proptest '{}' gave up: only {} of {} cases accepted after {} attempts \
+                     (prop_assume! rejects nearly every input — fix the generator or the precondition)",
+                    ::core::stringify!($name),
+                    accepted,
+                    config.cases,
+                    attempt
+                );
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..17, b in -5i64..=5, x in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec(any::<bool>(), 2..=6)) {
+            prop_assert!((2..=6).contains(&v.len()));
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u32..10, 0u32..10)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+    }
+
+    proptest! {
+        /// A failing property must actually fail the test — a property
+        /// framework that cannot fail is worse than none.
+        #[test]
+        #[should_panic(expected = "proptest 'failing_property_panics' failed")]
+        fn failing_property_panics(n in 0u32..100) {
+            prop_assert!(n > 1000, "n = {n} is not > 1000");
+        }
+
+        /// Exhausting the rejection budget is an error, not a vacuous
+        /// pass: a precondition that filters out (nearly) every input
+        /// must be heard about, as in real proptest.
+        #[test]
+        #[should_panic(expected = "proptest 'reject_everything_gives_up' gave up")]
+        fn reject_everything_gives_up(n in 0u32..100) {
+            prop_assume!(n > 1000);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_case("some::test", 7);
+        let mut b = TestRng::for_case("some::test", 7);
+        let mut c = TestRng::for_case("some::test", 8);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        let doubled = (1u32..5).prop_map(|n| n * 2);
+        let mut rng = TestRng::for_case("map", 0);
+        for _ in 0..64 {
+            let v = doubled.sample(&mut rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+    }
+}

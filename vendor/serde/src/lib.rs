@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and the workspace only
+//! ever *derives* `Serialize`/`Deserialize` — no code path serializes
+//! yet. This crate keeps the derive annotations compiling by providing
+//! the two trait names and re-exporting no-op derive macros from the
+//! sibling `serde_derive` stub. When a real serialization backend is
+//! needed, point the workspace `serde` dependency back at crates.io and
+//! everything downstream keeps working unchanged.
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not emit an impl; the trait exists only so that
+/// `use serde::{Serialize, Deserialize}` resolves in both the type and
+/// macro namespaces.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

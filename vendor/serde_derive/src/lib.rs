@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io, and
+//! nothing in the workspace actually serializes today — the `Serialize` /
+//! `Deserialize` derives only mark types as wire-ready for future
+//! backends. These macros therefore accept the same syntax (including
+//! `#[serde(...)]` field/container attributes) and expand to nothing.
+//! Swapping the real serde back in is a two-line change in the vendored
+//! `serde` crate's manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
