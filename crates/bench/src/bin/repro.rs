@@ -4,43 +4,116 @@
 //! cargo run --release -p trustex-bench --bin repro            # all, paper scale
 //! cargo run --release -p trustex-bench --bin repro -- --smoke # all, smoke scale
 //! cargo run --release -p trustex-bench --bin repro -- e4 e6   # a subset
+//! cargo run --release -p trustex-bench --bin repro -- --threads 8
 //! ```
+//!
+//! `--threads N` pins the worker-pool size used by the arm-parallel
+//! experiment runner and the sharded market simulator (default: detected
+//! parallelism; results are identical for every value). Each run also
+//! writes per-experiment wall-clock timings to `BENCH_repro.json`
+//! (override the path with `--bench-out PATH`), a flat JSON object
+//! mapping experiment id → milliseconds, so CI can track the perf
+//! trajectory per PR.
 
 use std::time::Instant;
+use trustex_bench::timings_to_json;
 use trustex_market::experiments::{find, Scale, ALL};
+use trustex_netsim::pool::{default_threads, set_default_threads};
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    bench_out: String,
+    ids: Vec<String>,
+}
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: repro [--smoke] [--threads N] [--bench-out PATH] [id...]");
+    eprintln!(
+        "known ids: {}",
+        ALL.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(raw: Vec<String>) -> Args {
+    let mut args = Args {
+        smoke: false,
+        threads: 0,
+        bench_out: "BENCH_repro.json".to_owned(),
+        ids: Vec::new(),
+    };
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--threads requires a value"));
+                args.threads = match value.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage_exit(&format!("invalid thread count: {value}")),
+                };
+            }
+            "--bench-out" => {
+                args.bench_out = iter
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--bench-out requires a path"));
+            }
+            other if other.starts_with("--") => {
+                usage_exit(&format!("unknown flag: {other}"));
+            }
+            id => args.ids.push(id.to_owned()),
+        }
+    }
+    args
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let scale = if smoke { Scale::Smoke } else { Scale::Paper };
+    let args = parse_args(std::env::args().skip(1).collect());
+    if args.threads > 0 {
+        set_default_threads(args.threads);
+    }
+    let scale = if args.smoke {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
 
-    let selected: Vec<_> = if ids.is_empty() {
+    let selected: Vec<_> = if args.ids.is_empty() {
         ALL.iter().collect()
     } else {
-        ids.iter()
+        args.ids
+            .iter()
             .map(|id| {
-                find(id).unwrap_or_else(|| {
-                    eprintln!("unknown experiment id: {id}");
-                    eprintln!(
-                        "known ids: {}",
-                        ALL.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
-                    );
-                    std::process::exit(2);
-                })
+                find(id).unwrap_or_else(|| usage_exit(&format!("unknown experiment id: {id}")))
             })
             .collect()
     };
 
     println!(
-        "# trustex experiment reproduction ({} scale)\n",
-        if smoke { "smoke" } else { "paper" }
+        "# trustex experiment reproduction ({} scale, {} threads)\n",
+        if args.smoke { "smoke" } else { "paper" },
+        default_threads(),
     );
+    let mut timings: Vec<(&str, f64)> = Vec::with_capacity(selected.len());
     for experiment in selected {
         let start = Instant::now();
         let table = (experiment.run)(scale);
         let elapsed = start.elapsed();
+        timings.push((experiment.id, elapsed.as_secs_f64() * 1_000.0));
         println!("[{}] {} ({elapsed:.2?})", experiment.id, experiment.title);
         println!("{}", table.render());
+    }
+
+    let json = timings_to_json(&timings);
+    match std::fs::write(&args.bench_out, &json) {
+        Ok(()) => eprintln!("wall-clock timings written to {}", args.bench_out),
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", args.bench_out);
+            std::process::exit(1);
+        }
     }
 }

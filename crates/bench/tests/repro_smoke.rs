@@ -39,11 +39,32 @@ fn registry_lookup_is_consistent() {
     assert!(find("").is_none());
 }
 
-/// The real binary completes `--smoke` and prints every experiment's tag.
+/// Scratch directory for one test's `repro` run, removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("repro_smoke_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The real binary completes `--smoke` (with an explicit thread count),
+/// prints every experiment's tag and writes machine-readable wall-clock
+/// timings to `BENCH_repro.json`.
 #[test]
-fn repro_binary_smoke_run_succeeds() {
+fn repro_binary_smoke_run_succeeds_and_emits_timings() {
+    let scratch = ScratchDir::new("full");
     let output = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .arg("--smoke")
+        .args(["--smoke", "--threads", "2"])
+        .current_dir(&scratch.0)
         .output()
         .expect("failed to spawn repro binary");
     assert!(
@@ -61,16 +82,71 @@ fn repro_binary_smoke_run_succeeds() {
             experiment.id
         );
     }
+    let json = std::fs::read_to_string(scratch.0.join("BENCH_repro.json"))
+        .expect("repro must write BENCH_repro.json");
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    for experiment in &ALL {
+        assert!(
+            json.contains(&format!("\"{}\": ", experiment.id)),
+            "experiment {} missing from BENCH_repro.json:\n{json}",
+            experiment.id
+        );
+    }
+}
+
+/// `--bench-out` redirects the timings file and subsets only time what
+/// actually ran.
+#[test]
+fn repro_binary_bench_out_subset() {
+    let scratch = ScratchDir::new("subset");
+    let out_path = scratch.0.join("timings.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--smoke", "--bench-out"])
+        .arg(&out_path)
+        .args(["e0", "e4"])
+        .current_dir(&scratch.0)
+        .output()
+        .expect("failed to spawn repro binary");
+    assert!(output.status.success());
+    let json = std::fs::read_to_string(&out_path).expect("custom bench-out path");
+    assert!(json.contains("\"e0\": "));
+    assert!(json.contains("\"e4\": "));
+    assert!(!json.contains("\"e8\""), "unran experiment timed:\n{json}");
+    assert!(
+        !scratch.0.join("BENCH_repro.json").exists(),
+        "default path must not be written when --bench-out is given"
+    );
 }
 
 /// Unknown experiment ids are rejected with exit code 2.
 #[test]
 fn repro_binary_rejects_unknown_id() {
+    let scratch = ScratchDir::new("bad_id");
     let output = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["--smoke", "e99"])
+        .current_dir(&scratch.0)
         .output()
         .expect("failed to spawn repro binary");
     assert_eq!(output.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("unknown experiment id"));
+}
+
+/// Malformed flags are rejected with exit code 2 before any work runs.
+#[test]
+fn repro_binary_rejects_bad_flags() {
+    let scratch = ScratchDir::new("bad_flags");
+    for args in [
+        &["--threads", "zero"][..],
+        &["--threads", "0"][..],
+        &["--threads"][..],
+        &["--frobnicate"][..],
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .current_dir(&scratch.0)
+            .output()
+            .expect("failed to spawn repro binary");
+        assert_eq!(output.status.code(), Some(2), "args: {args:?}");
+    }
 }

@@ -1,13 +1,19 @@
 //! Community-scale experiments: strategy comparison (E4), trust accuracy
 //! (E5), marketplace comparison (E8) and convergence (E9).
+//!
+//! Every experiment here is a matrix of **independent** simulation arms
+//! (each arm owns its seed), so the arms fan out across the worker pool
+//! via [`run_arms`] and the table is reassembled in declaration order —
+//! output is bit-identical to a sequential run for any thread count.
 
 use super::Scale;
 use crate::population::ModelKind;
-use crate::sim::{MarketConfig, MarketSim};
+use crate::sim::{MarketConfig, MarketReport, MarketSim};
 use crate::strategy::Strategy;
 use crate::table::Table;
 use crate::workload::Workload;
 use trustex_agents::profile::PopulationMix;
+use trustex_netsim::pool::parallel_map;
 
 fn base_cfg(scale: Scale) -> MarketConfig {
     MarketConfig {
@@ -17,6 +23,21 @@ fn base_cfg(scale: Scale) -> MarketConfig {
         workload: Workload::FileSharing,
         ..MarketConfig::default()
     }
+}
+
+/// Runs every arm's simulation on the worker pool (thread count from the
+/// process default, i.e. `repro --threads` / `TRUSTEX_THREADS`) and
+/// returns the reports in arm order.
+///
+/// Each arm's config pins its own seed, so the result is independent of
+/// both the pool size and the arms' completion order. Arms already
+/// saturate the pool, so each simulator runs its sessions on one thread
+/// — nested session-sharding would only oversubscribe the workers (and
+/// thread count never changes a report anyway).
+pub(crate) fn run_arms(arms: Vec<MarketConfig>) -> Vec<MarketReport> {
+    parallel_map(0, arms, |_, cfg| {
+        MarketSim::new(MarketConfig { threads: 1, ..cfg }).run()
+    })
 }
 
 /// E4 — *Figure R4*: honest-population welfare per strategy as the
@@ -39,25 +60,29 @@ pub fn e4_strategies(scale: Scale) -> Table {
             "no_trade",
         ],
     );
+    let mut labels = Vec::new();
+    let mut arms = Vec::new();
     for &frac in fractions {
         for strategy in Strategy::ALL {
-            let cfg = MarketConfig {
+            labels.push((frac, strategy));
+            arms.push(MarketConfig {
                 mix: PopulationMix::standard(frac, 0.25),
                 strategy,
                 seed: 42 + (frac * 100.0) as u64,
                 ..base_cfg(scale)
-            };
-            let r = MarketSim::new(cfg).run();
-            let sessions = r.sessions.max(1) as f64;
-            table.push_row(vec![
-                frac.into(),
-                strategy.label().into(),
-                r.completion_rate().into(),
-                (r.honest_gain / sessions).into(),
-                (r.honest_losses / sessions).into(),
-                r.no_trade_rate().into(),
-            ]);
+            });
         }
+    }
+    for ((frac, strategy), r) in labels.into_iter().zip(run_arms(arms)) {
+        let sessions = r.sessions.max(1) as f64;
+        table.push_row(vec![
+            frac.into(),
+            strategy.label().into(),
+            r.completion_rate().into(),
+            (r.honest_gain / sessions).into(),
+            (r.honest_losses / sessions).into(),
+            r.no_trade_rate().into(),
+        ]);
     }
     table
 }
@@ -70,48 +95,35 @@ pub fn e5_trust_accuracy(scale: Scale) -> Table {
         "E5: trust model accuracy (30% dishonest population)",
         &["model", "liar_share", "mae", "rank_acc", "decision_acc"],
     );
+    let mut labels = Vec::new();
+    let mut arms = Vec::new();
     for model in ModelKind::ALL {
         for &liars in liar_shares {
-            let cfg = MarketConfig {
+            labels.push((model, liars));
+            arms.push(MarketConfig {
                 mix: PopulationMix::standard(0.3, liars),
                 model,
                 strategy: Strategy::UnsafeDeliverFirst, // maximal interaction data
                 seed: 7,
                 ..base_cfg(scale)
-            };
-            let sim = MarketSim::new(cfg);
-            // Run and inspect the final community.
-            let community_metrics = { run_keeping_community(sim) };
-            table.push_row(vec![
-                model.label().into(),
-                liars.into(),
-                community_metrics.0.into(),
-                community_metrics.1.into(),
-                community_metrics.2.into(),
-            ]);
+            });
         }
+    }
+    for ((model, liars), r) in labels.into_iter().zip(run_arms(arms)) {
+        table.push_row(vec![
+            model.label().into(),
+            liars.into(),
+            r.final_mae.into(),
+            r.final_rank_accuracy.into(),
+            r.final_decision_accuracy.into(),
+        ]);
     }
     table
 }
 
-/// Runs a sim and returns `(mae, rank_accuracy, decision_accuracy)` of
-/// the final community.
-fn run_keeping_community(sim: MarketSim) -> (f64, f64, f64) {
-    // MarketSim::run consumes self; replicate the tail metrics by asking
-    // the report (mae/rank are included) and recomputing decision
-    // accuracy needs the community — run manually instead.
-    // Simplest correct approach: run, then rebuild an identical sim and
-    // replay? Instead we expose what we need from the report.
-    let report = sim.run();
-    (
-        report.final_mae,
-        report.final_rank_accuracy,
-        report.final_decision_accuracy,
-    )
-}
-
 /// E8 — *Table R3*: the full marketplace matrix — workloads × strategies
-/// at 30% dishonest agents.
+/// at 30% dishonest agents, at the ROADMAP's paper scale (10³ agents,
+/// 10² rounds per arm).
 pub fn e8_marketplace(scale: Scale) -> Table {
     let mut table = Table::new(
         "E8: end-to-end marketplace (30% dishonest, 25% of them liars)",
@@ -124,25 +136,32 @@ pub fn e8_marketplace(scale: Scale) -> Table {
             "final_mae",
         ],
     );
+    let mut labels = Vec::new();
+    let mut arms = Vec::new();
     for workload in Workload::ALL {
         for strategy in Strategy::ALL {
-            let cfg = MarketConfig {
+            labels.push((workload, strategy));
+            arms.push(MarketConfig {
+                n_agents: scale.pick(40, 1000),
+                rounds: scale.pick(8, 100),
+                sessions_per_round: scale.pick(40, 1000),
                 workload,
                 strategy,
                 seed: 11,
                 ..base_cfg(scale)
-            };
-            let r = MarketSim::new(cfg).run();
-            let sessions = r.sessions.max(1) as f64;
-            table.push_row(vec![
-                workload.label().into(),
-                strategy.label().into(),
-                r.completion_rate().into(),
-                (r.total_welfare / sessions).into(),
-                (r.honest_losses / sessions).into(),
-                r.final_mae.into(),
-            ]);
+            });
         }
+    }
+    for ((workload, strategy), r) in labels.into_iter().zip(run_arms(arms)) {
+        let sessions = r.sessions.max(1) as f64;
+        table.push_row(vec![
+            workload.label().into(),
+            strategy.label().into(),
+            r.completion_rate().into(),
+            (r.total_welfare / sessions).into(),
+            (r.honest_losses / sessions).into(),
+            r.final_mae.into(),
+        ]);
     }
     table
 }
@@ -154,24 +173,26 @@ pub fn e9_convergence(scale: Scale) -> Table {
         "E9: trust MAE by round (30% dishonest, no liars)",
         &["round", "beta", "complaints", "mean", "ewma"],
     );
-    let mut columns: Vec<Vec<f64>> = Vec::new();
-    for model in ModelKind::ALL {
-        let cfg = MarketConfig {
+    let arms: Vec<MarketConfig> = ModelKind::ALL
+        .into_iter()
+        .map(|model| MarketConfig {
             model,
             mix: PopulationMix::standard(0.3, 0.0),
             strategy: Strategy::UnsafeDeliverFirst,
             track_trust_per_round: true,
             seed: 13,
             ..base_cfg(scale)
-        };
-        let r = MarketSim::new(cfg).run();
-        columns.push(
+        })
+        .collect();
+    let columns: Vec<Vec<f64>> = run_arms(arms)
+        .into_iter()
+        .map(|r| {
             r.per_round
                 .iter()
                 .map(|s| s.trust_mae.expect("tracking enabled"))
-                .collect(),
-        );
-    }
+                .collect()
+        })
+        .collect();
     for (round, (((beta, complaints), mean), ewma)) in columns[0]
         .iter()
         .zip(&columns[1])

@@ -1,15 +1,17 @@
 //! Storage-substrate experiments: P-Grid routing/churn (E6) and the
 //! ablation matrix (E10).
 
+use super::community::run_arms;
 use super::Scale;
 use crate::population::ModelKind;
-use crate::sim::{MarketConfig, MarketSim};
+use crate::sim::MarketConfig;
 use crate::strategy::Strategy;
 use crate::table::Table;
 use crate::workload::Workload;
 use trustex_agents::profile::PopulationMix;
 use trustex_core::policy::PaymentPolicy;
 use trustex_netsim::churn::{ChurnModel, ChurnTimeline};
+use trustex_netsim::pool::parallel_map;
 use trustex_netsim::rng::SimRng;
 use trustex_netsim::time::SimTime;
 use trustex_reputation::pgrid::{PGrid, PGridConfig};
@@ -110,60 +112,96 @@ pub fn e6_pgrid(scale: Scale) -> Table {
 /// E10 — *Table R4*: ablations of the design choices `DESIGN.md` calls
 /// out: payment policy, gossip fan-out, storage replication and risk
 /// attitude.
+///
+/// The market arms of all three simulation groups fan out across the
+/// worker pool in one batch (each arm pins its own seed); rows are
+/// emitted in declaration order afterwards, so the table is identical
+/// for every thread count.
 pub fn e10_ablations(scale: Scale) -> Table {
     let mut table = Table::new(
         "E10: ablations (metric depends on row group)",
         &["group", "variant", "metric", "value"],
     );
+    let sim_cfg = |scale: Scale| MarketConfig {
+        n_agents: scale.pick(40, 120),
+        rounds: scale.pick(6, 25),
+        sessions_per_round: scale.pick(40, 120),
+        ..MarketConfig::default()
+    };
 
     // (a) Payment policy: realized honest losses per session in a 30%
     // dishonest market (exposure splits differently).
+    let mut labels: Vec<(&str, String, &str)> = Vec::new();
+    let mut arms: Vec<MarketConfig> = Vec::new();
     for policy in PaymentPolicy::ALL {
-        let cfg = MarketConfig {
-            n_agents: scale.pick(40, 120),
-            rounds: scale.pick(6, 25),
-            sessions_per_round: scale.pick(40, 120),
+        labels.push((
+            "payment-policy",
+            policy.label().to_owned(),
+            "honest_losses/sess",
+        ));
+        arms.push(MarketConfig {
             payment_policy: policy,
             strategy: Strategy::TrustAware,
             workload: Workload::FileSharing,
             seed: 0xA0,
-            ..MarketConfig::default()
-        };
-        let r = MarketSim::new(cfg).run();
-        table.push_row(vec![
-            "payment-policy".into(),
-            policy.label().into(),
-            "honest_losses/sess".into(),
-            (r.honest_losses / r.sessions.max(1) as f64).into(),
-        ]);
+            ..sim_cfg(scale)
+        });
     }
 
     // (b) Gossip fan-out: final MAE with 0 / 3 / 10 witnesses.
     for gossip in [0usize, 3, 10] {
-        let cfg = MarketConfig {
-            n_agents: scale.pick(40, 120),
-            rounds: scale.pick(6, 25),
-            sessions_per_round: scale.pick(40, 120),
+        labels.push(("gossip", format!("k={gossip}"), "final_mae"));
+        arms.push(MarketConfig {
             gossip_witnesses: gossip,
             model: ModelKind::Mean,
             mix: PopulationMix::standard(0.3, 0.0),
             strategy: Strategy::UnsafeDeliverFirst,
             seed: 0xA1,
-            ..MarketConfig::default()
-        };
-        let r = MarketSim::new(cfg).run();
-        table.push_row(vec![
-            "gossip".into(),
-            format!("k={gossip}").into(),
-            "final_mae".into(),
-            r.final_mae.into(),
-        ]);
+            ..sim_cfg(scale)
+        });
     }
 
-    // (c) Replication factor: query success under 30% down peers.
-    for repl in [1usize, 2, 4, 8] {
+    // (d) Trust model under heavy lying (50% of dishonest agents lie).
+    for model in [ModelKind::Beta, ModelKind::Mean] {
+        labels.push(("witness-discounting", model.label().to_owned(), "final_mae"));
+        arms.push(MarketConfig {
+            model,
+            mix: PopulationMix::standard(0.3, 0.5),
+            strategy: Strategy::UnsafeDeliverFirst,
+            seed: 0xA3,
+            ..sim_cfg(scale)
+        });
+    }
+
+    let reports = run_arms(arms);
+    let mut rows = labels.iter().zip(&reports);
+    let mut take_rows = |count: usize, table: &mut Table| {
+        for _ in 0..count {
+            let ((group, variant, metric), r) = rows.next().expect("arm per label");
+            let value = match *metric {
+                "honest_losses/sess" => r.honest_losses / r.sessions.max(1) as f64,
+                _ => r.final_mae,
+            };
+            table.push_row(vec![
+                (*group).into(),
+                variant.clone().into(),
+                (*metric).into(),
+                value.into(),
+            ]);
+        }
+    };
+    take_rows(PaymentPolicy::ALL.len(), &mut table);
+    take_rows(3, &mut table);
+
+    // (c) Replication factor: query success under 30% down peers — also
+    // independent arms, fanned out over the pool.
+    let repls = [1usize, 2, 4, 8];
+    let successes = parallel_map(0, repls.to_vec(), |_, repl| {
         let n = scale.pick(64, 512);
         let (_, _, success) = measure_grid(n, repl, 0.30, scale.pick(100, 300), 0xA2);
+        success
+    });
+    for (repl, success) in repls.into_iter().zip(successes) {
         table.push_row(vec![
             "replication".into(),
             format!("r={repl}").into(),
@@ -172,26 +210,7 @@ pub fn e10_ablations(scale: Scale) -> Table {
         ]);
     }
 
-    // (d) Trust model under heavy lying (50% of dishonest agents lie).
-    for model in [ModelKind::Beta, ModelKind::Mean] {
-        let cfg = MarketConfig {
-            n_agents: scale.pick(40, 120),
-            rounds: scale.pick(6, 25),
-            sessions_per_round: scale.pick(40, 120),
-            model,
-            mix: PopulationMix::standard(0.3, 0.5),
-            strategy: Strategy::UnsafeDeliverFirst,
-            seed: 0xA3,
-            ..MarketConfig::default()
-        };
-        let r = MarketSim::new(cfg).run();
-        table.push_row(vec![
-            "witness-discounting".into(),
-            model.label().into(),
-            "final_mae".into(),
-            r.final_mae.into(),
-        ]);
-    }
+    take_rows(2, &mut table);
 
     table
 }

@@ -35,7 +35,9 @@ pub mod workload;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::experiments::{find as find_experiment, Experiment, Scale, ALL as EXPERIMENTS};
-    pub use crate::metrics::{decision_accuracy, rank_accuracy, trust_mae};
+    pub use crate::metrics::{
+        cooperation_truth, decision_accuracy, rank_accuracy, trust_mae, trust_mae_with_truth,
+    };
     pub use crate::population::{AnyModel, Community, ModelKind};
     pub use crate::sim::{MarketConfig, MarketReport, MarketSim, RoundStats};
     pub use crate::strategy::{plan, NoTrade, Strategy};

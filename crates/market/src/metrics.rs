@@ -3,20 +3,41 @@
 use crate::population::Community;
 use trustex_trust::model::PeerId;
 
+/// The ground-truth cooperation probability of every agent, in id order.
+///
+/// The truth vector is static over a simulation run, so per-round metric
+/// tracking computes it once and reuses the buffer via
+/// [`trust_mae_with_truth`] instead of re-deriving it every round.
+pub fn cooperation_truth(community: &Community) -> Vec<f64> {
+    community
+        .agent_ids()
+        .map(|a| community.true_cooperation_prob(a))
+        .collect()
+}
+
 /// Mean absolute error of trust estimates against ground truth, averaged
 /// over all ordered evaluator→subject pairs (`evaluator ≠ subject`).
 pub fn trust_mae(community: &Community) -> f64 {
-    let ids: Vec<PeerId> = community.agent_ids().collect();
+    trust_mae_with_truth(community, &cooperation_truth(community))
+}
+
+/// [`trust_mae`] against a precomputed [`cooperation_truth`] buffer —
+/// the allocation-free variant the per-round tracking hot path uses.
+///
+/// # Panics
+///
+/// Panics if `truth.len()` differs from the community size.
+pub fn trust_mae_with_truth(community: &Community, truth: &[f64]) -> f64 {
+    assert_eq!(truth.len(), community.len(), "truth buffer size mismatch");
     let mut total = 0.0;
     let mut count = 0usize;
-    for &e in &ids {
-        for &s in &ids {
+    for e in community.agent_ids() {
+        for s in community.agent_ids() {
             if e == s {
                 continue;
             }
             let est = community.predict(e, s).p_honest;
-            let truth = community.true_cooperation_prob(s);
-            total += (est - truth).abs();
+            total += (est - truth[s.index()]).abs();
             count += 1;
         }
     }
@@ -45,34 +66,43 @@ pub fn rank_accuracy(community: &Community) -> f64 {
     if honest.is_empty() || dishonest.is_empty() {
         return 0.5;
     }
-    let mut score = 0.0;
-    let mut count = 0usize;
+    // Per evaluator this is a Mann–Whitney U count: sort the honest
+    // scores once, then locate every dishonest score by binary search —
+    // O(n log n) per evaluator instead of the naive O(honest × dishonest)
+    // pair walk (O(n³) overall). Wins/ties are tallied in exact half-unit
+    // integers, so the result is bit-identical to the naive pair sum.
+    let mut half_units: u64 = 0;
+    let mut count: u64 = 0;
+    let mut honest_scores: Vec<f64> = Vec::with_capacity(honest.len());
     for &e in &ids {
-        for &h in &honest {
-            if h == e {
+        honest_scores.clear();
+        honest_scores.extend(
+            honest
+                .iter()
+                .filter(|&&h| h != e)
+                .map(|&h| community.predict(e, h).p_honest),
+        );
+        if honest_scores.is_empty() {
+            continue;
+        }
+        honest_scores.sort_unstable_by(f64::total_cmp);
+        for &d in &dishonest {
+            if d == e {
                 continue;
             }
-            for &d in &dishonest {
-                if d == e {
-                    continue;
-                }
-                let ph = community.predict(e, h).p_honest;
-                let pd = community.predict(e, d).p_honest;
-                score += if ph > pd {
-                    1.0
-                } else if ph == pd {
-                    0.5
-                } else {
-                    0.0
-                };
-                count += 1;
-            }
+            let pd = community.predict(e, d).p_honest;
+            let below = honest_scores.partition_point(|&ph| ph.total_cmp(&pd).is_lt());
+            let below_or_tied = honest_scores.partition_point(|&ph| ph.total_cmp(&pd).is_le());
+            let wins = (honest_scores.len() - below_or_tied) as u64;
+            let ties = (below_or_tied - below) as u64;
+            half_units += 2 * wins + ties;
+            count += honest_scores.len() as u64;
         }
     }
     if count == 0 {
         0.5
     } else {
-        score / count as f64
+        half_units as f64 / (2 * count) as f64
     }
 }
 
@@ -161,6 +191,93 @@ mod tests {
         let mut c = community(0.3);
         educate(&mut c, 10);
         assert!(decision_accuracy(&c) > 0.95);
+    }
+
+    /// The naive O(n³) pair walk the sorted implementation replaced.
+    fn rank_accuracy_naive(community: &Community) -> f64 {
+        let ids: Vec<PeerId> = community.agent_ids().collect();
+        let honest: Vec<PeerId> = ids
+            .iter()
+            .copied()
+            .filter(|a| community.is_honest(*a))
+            .collect();
+        let dishonest: Vec<PeerId> = ids
+            .iter()
+            .copied()
+            .filter(|a| !community.is_honest(*a))
+            .collect();
+        if honest.is_empty() || dishonest.is_empty() {
+            return 0.5;
+        }
+        let mut score = 0.0;
+        let mut count = 0usize;
+        for &e in &ids {
+            for &h in &honest {
+                if h == e {
+                    continue;
+                }
+                for &d in &dishonest {
+                    if d == e {
+                        continue;
+                    }
+                    let ph = community.predict(e, h).p_honest;
+                    let pd = community.predict(e, d).p_honest;
+                    score += if ph > pd {
+                        1.0
+                    } else if ph == pd {
+                        0.5
+                    } else {
+                        0.0
+                    };
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.5
+        } else {
+            score / count as f64
+        }
+    }
+
+    /// The Mann–Whitney formulation must agree bit-for-bit with the
+    /// naive pair walk on cold, partially educated and fully educated
+    /// communities (ties, mixed scores, saturated scores).
+    #[test]
+    fn rank_accuracy_matches_naive_reference() {
+        for dishonest_frac in [0.3, 0.5, 0.7] {
+            let mut c = community(dishonest_frac);
+            assert_eq!(rank_accuracy(&c), rank_accuracy_naive(&c));
+            // Partially educate: only some evaluators learn, leaving a
+            // mix of informative scores and tied cold priors.
+            let ids: Vec<PeerId> = c.agent_ids().collect();
+            for &e in ids.iter().take(4) {
+                for &s in &ids {
+                    if e != s {
+                        let conduct = Conduct::from_honest(c.is_honest(s));
+                        c.record_direct(e, s, conduct, 0);
+                    }
+                }
+            }
+            assert_eq!(rank_accuracy(&c), rank_accuracy_naive(&c));
+            educate(&mut c, 7);
+            assert_eq!(rank_accuracy(&c), rank_accuracy_naive(&c));
+        }
+    }
+
+    #[test]
+    fn trust_mae_with_truth_matches_allocating_path() {
+        let mut c = community(0.4);
+        educate(&mut c, 3);
+        let truth = cooperation_truth(&c);
+        assert_eq!(trust_mae(&c), trust_mae_with_truth(&c, &truth));
+    }
+
+    #[test]
+    #[should_panic(expected = "truth buffer size mismatch")]
+    fn trust_mae_with_wrong_buffer_panics() {
+        let c = community(0.4);
+        trust_mae_with_truth(&c, &[0.5; 3]);
     }
 
     #[test]

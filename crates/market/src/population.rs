@@ -221,6 +221,12 @@ impl Community {
     pub fn agent_ids(&self) -> impl ExactSizeIterator<Item = PeerId> {
         (0..self.profiles.len() as u32).map(PeerId)
     }
+
+    /// Total witness reports queued for corroboration — an observable
+    /// delivery count for gossip fan-out tests.
+    pub fn pending_report_count(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
 }
 
 #[cfg(test)]

@@ -5,16 +5,38 @@
 //! and feed the observed conduct back into trust models and gossip — the
 //! full reputation → trust → decision → exchange → feedback cycle of the
 //! paper's reference model.
+//!
+//! # Parallel execution model
+//!
+//! Rounds run in three phases so session execution can be sharded across
+//! worker threads without giving up bit-for-bit reproducibility:
+//!
+//! 1. **Draw** (sequential): every session's participants, deal and
+//!    per-party RNG forks are drawn from the master stream up front, so
+//!    master-stream consumption never depends on trust state or timing.
+//! 2. **Execute** (parallel): sessions are planned against the trust
+//!    state at round start and executed concurrently via
+//!    [`trustex_netsim::pool::parallel_map`]; each session only reads
+//!    the shared community and owns its pre-forked streams.
+//! 3. **Merge** (sequential): outcomes are folded in session order —
+//!    accounting, direct-experience feedback, witness gossip and slander
+//!    all replay deterministically from each session's feedback fork.
+//!
+//! The thread count therefore changes wall-clock time, never the
+//! [`MarketReport`]: `threads ∈ {1, 2, 8}` produce identical output for
+//! the same seed (enforced by the cross-thread determinism tests).
 
-use crate::metrics::{decision_accuracy, rank_accuracy, trust_mae};
+use crate::metrics::{cooperation_truth, decision_accuracy, rank_accuracy, trust_mae_with_truth};
 use crate::population::{Community, ModelKind};
 use crate::strategy::{plan, Strategy};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
 use trustex_agents::profile::PopulationMix;
-use trustex_core::execute::{execute, ExchangeStatus};
+use trustex_core::deal::Deal;
+use trustex_core::execute::{execute, ExchangeOutcome, ExchangeStatus};
 use trustex_core::policy::PaymentPolicy;
 use trustex_core::state::Role;
+use trustex_netsim::pool::{parallel_map, resolve_threads};
 use trustex_netsim::rng::SimRng;
 use trustex_trust::model::{Conduct, PeerId, WitnessReport};
 
@@ -43,6 +65,10 @@ pub struct MarketConfig {
     pub seed: u64,
     /// Record O(n²) trust metrics every round (else only at the end).
     pub track_trust_per_round: bool,
+    /// Worker threads for the sharded session executor (0 = auto via
+    /// [`trustex_netsim::pool::default_threads`]). Any value yields the
+    /// same report; only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for MarketConfig {
@@ -59,6 +85,7 @@ impl Default for MarketConfig {
             gossip_witnesses: 3,
             seed: 42,
             track_trust_per_round: false,
+            threads: 0,
         }
     }
 }
@@ -85,7 +112,7 @@ pub struct RoundStats {
 }
 
 /// Whole-run aggregates.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MarketReport {
     /// Per-round statistics.
     pub per_round: Vec<RoundStats>,
@@ -142,6 +169,32 @@ impl MarketReport {
     }
 }
 
+/// Everything one session needs before execution, pre-drawn from the
+/// master stream so execution order cannot perturb determinism.
+struct SessionDraw {
+    supplier: PeerId,
+    consumer: PeerId,
+    deal: Deal,
+    rng_supplier: SimRng,
+    rng_consumer: SimRng,
+}
+
+/// The sequential remainder of a session: who traded, plus the fork that
+/// replays feedback-side randomness (slander targets, gossip witnesses).
+struct SessionPost {
+    supplier: PeerId,
+    consumer: PeerId,
+    rng_feedback: SimRng,
+}
+
+/// What the parallel executor hands back to the merge phase.
+enum SessionOutcome {
+    /// The strategy declined or found no feasible sequence.
+    NoTrade,
+    /// The exchange ran (to completion or first defection).
+    Traded(ExchangeOutcome),
+}
+
 /// The simulation driver.
 #[derive(Debug)]
 pub struct MarketSim {
@@ -150,6 +203,9 @@ pub struct MarketSim {
     rng: SimRng,
     honest_gain: f64,
     dishonest_gain: f64,
+    /// Ground-truth cooperation probabilities, fixed at construction and
+    /// reused by every per-round MAE evaluation.
+    truth: Vec<f64>,
 }
 
 impl MarketSim {
@@ -157,12 +213,14 @@ impl MarketSim {
     pub fn new(cfg: MarketConfig) -> MarketSim {
         let mut rng = SimRng::new(cfg.seed);
         let community = Community::new(cfg.n_agents, &cfg.mix, cfg.model, &mut rng);
+        let truth = cooperation_truth(&community);
         MarketSim {
             cfg,
             community,
             rng,
             honest_gain: 0.0,
             dishonest_gain: 0.0,
+            truth,
         }
     }
 
@@ -173,6 +231,7 @@ impl MarketSim {
 
     /// Runs all rounds and produces the report.
     pub fn run(mut self) -> MarketReport {
+        let threads = resolve_threads(self.cfg.threads);
         let mut per_round = Vec::with_capacity(self.cfg.rounds as usize);
         let mut report = MarketReport {
             per_round: Vec::new(),
@@ -189,7 +248,7 @@ impl MarketSim {
             final_decision_accuracy: 0.0,
         };
         for round in 0..self.cfg.rounds {
-            let stats = self.run_round(round);
+            let stats = self.run_round(round, threads);
             report.sessions += stats.sessions;
             report.completed += stats.completed;
             report.aborted += stats.aborted;
@@ -202,14 +261,81 @@ impl MarketSim {
         // self; fold them here.
         report.honest_gain = self.honest_gain;
         report.dishonest_gain = self.dishonest_gain;
-        report.final_mae = trust_mae(&self.community);
+        report.final_mae = trust_mae_with_truth(&self.community, &self.truth);
         report.final_rank_accuracy = rank_accuracy(&self.community);
         report.final_decision_accuracy = decision_accuracy(&self.community);
         report.per_round = per_round;
         report
     }
 
-    fn run_round(&mut self, round: u64) -> RoundStats {
+    /// Phase 1: draws every session of a round from the master stream.
+    fn draw_sessions(&mut self) -> (Vec<SessionDraw>, Vec<SessionPost>) {
+        let n = self.community.len();
+        let count = self.cfg.sessions_per_round;
+        let mut draws = Vec::with_capacity(count);
+        let mut posts = Vec::with_capacity(count);
+        for _ in 0..count {
+            let supplier = PeerId(self.rng.index(n) as u32);
+            let consumer = loop {
+                let c = PeerId(self.rng.index(n) as u32);
+                if c != supplier {
+                    break c;
+                }
+            };
+            let deal = self.cfg.workload.generate_deal(&mut self.rng);
+            let rng_supplier = self.rng.fork(0xD1CE);
+            let rng_consumer = self.rng.fork(0xFACE);
+            let rng_feedback = self.rng.fork(0xF00D);
+            draws.push(SessionDraw {
+                supplier,
+                consumer,
+                deal,
+                rng_supplier,
+                rng_consumer,
+            });
+            posts.push(SessionPost {
+                supplier,
+                consumer,
+                rng_feedback,
+            });
+        }
+        (draws, posts)
+    }
+
+    /// Phase 2 worker: plans and executes one session against the trust
+    /// state at round start. Pure in the community (read-only), so any
+    /// number of sessions can run concurrently.
+    fn run_session(
+        cfg: &MarketConfig,
+        community: &Community,
+        round: u64,
+        draw: SessionDraw,
+    ) -> SessionOutcome {
+        let s_trust = community.predict(draw.supplier, draw.consumer);
+        let c_trust = community.predict(draw.consumer, draw.supplier);
+        let sequence = match plan(
+            cfg.strategy,
+            &draw.deal,
+            s_trust,
+            c_trust,
+            cfg.payment_policy,
+        ) {
+            Ok(seq) => seq,
+            Err(_) => return SessionOutcome::NoTrade,
+        };
+        let mut rng_s = draw.rng_supplier;
+        let mut rng_c = draw.rng_consumer;
+        let s_behavior = community.profile(draw.supplier).exchange;
+        let c_behavior = community.profile(draw.consumer).exchange;
+        let outcome = {
+            let mut s_oracle = s_behavior.oracle(round, &mut rng_s);
+            let mut c_oracle = c_behavior.oracle(round, &mut rng_c);
+            execute(&draw.deal, &sequence, &mut s_oracle, &mut c_oracle)
+        };
+        SessionOutcome::Traded(outcome)
+    }
+
+    fn run_round(&mut self, round: u64, threads: usize) -> RoundStats {
         let n = self.community.len();
         let mut stats = RoundStats {
             round,
@@ -221,40 +347,50 @@ impl MarketSim {
             honest_losses: 0.0,
             trust_mae: None,
         };
-        for _ in 0..self.cfg.sessions_per_round {
-            stats.sessions += 1;
-            let supplier = PeerId(self.rng.index(n) as u32);
-            let consumer = loop {
-                let c = PeerId(self.rng.index(n) as u32);
-                if c != supplier {
-                    break c;
+
+        // Phase 1: pre-draw; phase 2: execute in parallel shards. Shards
+        // are chunks of consecutive sessions (~4 per worker) so queue
+        // traffic amortises over many ~µs sessions; chunk boundaries
+        // cannot affect results because execution is pure per session.
+        let (draws, posts) = self.draw_sessions();
+        let outcomes: Vec<SessionOutcome> = {
+            let cfg = &self.cfg;
+            let community = &self.community;
+            let chunk_len = draws.len().div_ceil(threads.max(1) * 4).max(1);
+            let mut chunks: Vec<Vec<SessionDraw>> = Vec::new();
+            let mut rest = draws.into_iter();
+            loop {
+                let chunk: Vec<SessionDraw> = rest.by_ref().take(chunk_len).collect();
+                if chunk.is_empty() {
+                    break;
                 }
-            };
-            let deal = self.cfg.workload.generate_deal(&mut self.rng);
-            let s_trust = self.community.predict(supplier, consumer);
-            let c_trust = self.community.predict(consumer, supplier);
-            let sequence = match plan(
-                self.cfg.strategy,
-                &deal,
-                s_trust,
-                c_trust,
-                self.cfg.payment_policy,
-            ) {
-                Ok(seq) => seq,
-                Err(_) => {
+                chunks.push(chunk);
+            }
+            parallel_map(threads, chunks, |_, chunk| {
+                chunk
+                    .into_iter()
+                    .map(|draw| Self::run_session(cfg, community, round, draw))
+                    .collect::<Vec<SessionOutcome>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
+        // Phase 3: deterministic merge in session order.
+        for (post, outcome) in posts.into_iter().zip(outcomes) {
+            stats.sessions += 1;
+            let SessionPost {
+                supplier,
+                consumer,
+                mut rng_feedback,
+            } = post;
+            let outcome = match outcome {
+                SessionOutcome::NoTrade => {
                     stats.no_trade += 1;
                     continue;
                 }
-            };
-            // Execute against the true behaviours.
-            let mut rng_s = self.rng.fork(0xD1CE);
-            let mut rng_c = self.rng.fork(0xFACE);
-            let s_behavior = self.community.profile(supplier).exchange;
-            let c_behavior = self.community.profile(consumer).exchange;
-            let outcome = {
-                let mut s_oracle = s_behavior.oracle(round, &mut rng_s);
-                let mut c_oracle = c_behavior.oracle(round, &mut rng_c);
-                execute(&deal, &sequence, &mut s_oracle, &mut c_oracle)
+                SessionOutcome::Traded(outcome) => outcome,
             };
 
             // Accounting.
@@ -291,47 +427,105 @@ impl MarketSim {
                     ..
                 }
             );
-            self.feedback(supplier, consumer, Conduct::from_honest(!c_defected), round);
-            self.feedback(consumer, supplier, Conduct::from_honest(!s_defected), round);
+            self.feedback(
+                supplier,
+                consumer,
+                Conduct::from_honest(!c_defected),
+                round,
+                &mut rng_feedback,
+            );
+            self.feedback(
+                consumer,
+                supplier,
+                Conduct::from_honest(!s_defected),
+                round,
+                &mut rng_feedback,
+            );
 
             // Unprovoked slander.
             for observer in [supplier, consumer] {
                 let reporting = self.community.profile(observer).reporting;
-                if reporting.slanders_now(&mut self.rng) {
-                    let victim = PeerId(self.rng.index(n) as u32);
+                if reporting.slanders_now(&mut rng_feedback) {
+                    let victim = PeerId(rng_feedback.index(n) as u32);
                     if victim != observer {
-                        self.gossip(observer, victim, Conduct::Dishonest, round);
+                        self.gossip(
+                            observer,
+                            victim,
+                            Conduct::Dishonest,
+                            round,
+                            &mut rng_feedback,
+                        );
                     }
                 }
             }
         }
         if self.cfg.track_trust_per_round {
-            stats.trust_mae = Some(trust_mae(&self.community));
+            stats.trust_mae = Some(trust_mae_with_truth(&self.community, &self.truth));
         }
         stats
     }
 
     /// Records `observer`'s direct experience and gossips the (possibly
     /// distorted) report to random witnesses.
-    fn feedback(&mut self, observer: PeerId, subject: PeerId, truth: Conduct, round: u64) {
+    fn feedback(
+        &mut self,
+        observer: PeerId,
+        subject: PeerId,
+        truth: Conduct,
+        round: u64,
+        rng: &mut SimRng,
+    ) {
         self.community
             .record_direct(observer, subject, truth, round);
         let reporting = self.community.profile(observer).reporting;
         if let Some(shaped) = reporting.report(truth) {
-            self.gossip(observer, subject, shaped, round);
+            self.gossip(observer, subject, shaped, round, rng);
         }
     }
 
-    /// Delivers a witness report about `subject` to `gossip_witnesses`
-    /// random other agents.
-    fn gossip(&mut self, witness: PeerId, subject: PeerId, conduct: Conduct, round: u64) {
+    /// Delivers a witness report about `subject` to exactly
+    /// `min(gossip_witnesses, n − 2)` *distinct* random agents, never the
+    /// witness or the subject themselves. Returns the delivery targets.
+    ///
+    /// (A previous implementation drew targets with replacement and
+    /// skipped collisions, silently under-delivering — increasingly often
+    /// in small communities.)
+    fn gossip(
+        &mut self,
+        witness: PeerId,
+        subject: PeerId,
+        conduct: Conduct,
+        round: u64,
+        rng: &mut SimRng,
+    ) -> Vec<PeerId> {
+        // The exclusion shift below assumes two distinct excluded ids;
+        // with witness == subject it would skip an innocent agent.
+        debug_assert_ne!(witness, subject, "gossip requires witness != subject");
         let n = self.community.len();
         let k = self.cfg.gossip_witnesses.min(n.saturating_sub(2));
-        for _ in 0..k {
-            let target = PeerId(self.rng.index(n) as u32);
-            if target == witness || target == subject {
-                continue;
-            }
+        if k == 0 {
+            return Vec::new();
+        }
+        // Sample from the n−2 eligible agents, then shift the raw draws
+        // past the two excluded ids (in ascending order) to map them back
+        // onto the full id range.
+        let mut excluded = [witness.index(), subject.index()];
+        excluded.sort_unstable();
+        let targets: Vec<PeerId> = rng
+            .sample_indices(n - 2, k)
+            .into_iter()
+            .map(|raw| {
+                let mut t = raw;
+                if t >= excluded[0] {
+                    t += 1;
+                }
+                if t >= excluded[1] {
+                    t += 1;
+                }
+                PeerId(t as u32)
+            })
+            .collect();
+        for &target in &targets {
             self.community.deliver_witness_report(
                 target,
                 WitnessReport {
@@ -342,6 +536,7 @@ impl MarketSim {
                 },
             );
         }
+        targets
     }
 }
 
@@ -364,9 +559,24 @@ mod tests {
     fn deterministic_runs() {
         let a = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
         let b = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
-        assert_eq!(a.completed, b.completed);
-        assert_eq!(a.aborted, b.aborted);
-        assert!((a.total_welfare - b.total_welfare).abs() < 1e-9);
+        assert_eq!(a, b, "same seed must reproduce the full report");
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_report() {
+        let reference = MarketSim::new(MarketConfig {
+            threads: 1,
+            ..smoke_cfg(Strategy::TrustAware)
+        })
+        .run();
+        for threads in [2, 3, 8] {
+            let cfg = MarketConfig {
+                threads,
+                ..smoke_cfg(Strategy::TrustAware)
+            };
+            let report = MarketSim::new(cfg).run();
+            assert_eq!(report, reference, "threads={threads} diverged");
+        }
     }
 
     #[test]
@@ -425,5 +635,64 @@ mod tests {
             last <= first,
             "trust error should not grow: {first} -> {last}"
         );
+    }
+
+    /// Regression test for the witness under-delivery bug: every gossip
+    /// call must reach exactly `min(gossip_witnesses, n − 2)` *distinct*
+    /// agents, none of them the witness or the subject. (The old
+    /// implementation drew with replacement and dropped collisions, so
+    /// small communities received fewer reports than configured.)
+    #[test]
+    fn gossip_delivers_exactly_min_distinct_witnesses() {
+        for (n, k) in [(3, 1), (4, 3), (5, 10), (10, 8), (40, 3), (2, 5)] {
+            let cfg = MarketConfig {
+                n_agents: n,
+                gossip_witnesses: k,
+                ..MarketConfig::default()
+            };
+            let mut sim = MarketSim::new(cfg);
+            let witness = PeerId(0);
+            let subject = PeerId(1);
+            let mut rng = SimRng::new(0x90551);
+            let expected = k.min(n.saturating_sub(2));
+            // Repeat: every single call must deliver the full quota.
+            for round in 0..20 {
+                let targets = sim.gossip(witness, subject, Conduct::Dishonest, round, &mut rng);
+                assert_eq!(
+                    targets.len(),
+                    expected,
+                    "n={n} k={k}: delivered {} of {expected}",
+                    targets.len()
+                );
+                let mut uniq: Vec<u32> = targets.iter().map(|t| t.0).collect();
+                uniq.sort_unstable();
+                uniq.dedup();
+                assert_eq!(uniq.len(), expected, "n={n} k={k}: duplicate witnesses");
+                assert!(
+                    !targets.contains(&witness) && !targets.contains(&subject),
+                    "n={n} k={k}: report delivered to a party"
+                );
+                assert!(targets.iter().all(|t| t.index() < n));
+            }
+            // The community actually received every report.
+            assert_eq!(sim.community.pending_report_count(), expected * 20);
+        }
+    }
+
+    /// Deliveries land in the community state (not just in the returned
+    /// target list), and each distinct target queues one report per call.
+    #[test]
+    fn gossip_deliveries_reach_the_models() {
+        let cfg = MarketConfig {
+            n_agents: 6,
+            gossip_witnesses: 4,
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(cfg);
+        let mut rng = SimRng::new(1);
+        assert_eq!(sim.community.pending_report_count(), 0);
+        let targets = sim.gossip(PeerId(2), PeerId(5), Conduct::Honest, 3, &mut rng);
+        assert_eq!(targets.len(), 4);
+        assert_eq!(sim.community.pending_report_count(), 4);
     }
 }

@@ -1,0 +1,116 @@
+//! Cross-thread-count determinism suite.
+//!
+//! The sharded session executor and the arm-parallel experiment runner
+//! both promise that parallelism changes wall-clock time, **never**
+//! results: the same seed must produce a bit-identical [`MarketReport`]
+//! and bit-identical experiment [`Table`]s for any thread count. These
+//! tests pin that contract for threads ∈ {1, 2, 8}.
+
+use proptest::{prop_assert_eq, proptest, ProptestConfig};
+use trustex_agents::profile::PopulationMix;
+use trustex_market::experiments::{Scale, ALL};
+use trustex_market::prelude::*;
+use trustex_netsim::pool::set_default_threads;
+
+fn cfg(threads: usize, seed: u64) -> MarketConfig {
+    MarketConfig {
+        n_agents: 50,
+        rounds: 6,
+        sessions_per_round: 50,
+        workload: Workload::FileSharing,
+        threads,
+        seed,
+        ..MarketConfig::default()
+    }
+}
+
+/// `MarketReport` is bit-identical for threads ∈ {1, 2, 8} across
+/// strategies and models (f64 fields compared exactly).
+#[test]
+fn market_report_identical_across_thread_counts() {
+    for strategy in Strategy::ALL {
+        for model in [ModelKind::Beta, ModelKind::Mean] {
+            let make = |threads: usize| {
+                MarketSim::new(MarketConfig {
+                    strategy,
+                    model,
+                    ..cfg(threads, 0xDE7)
+                })
+                .run()
+            };
+            let reference = make(1);
+            for threads in [2, 8] {
+                assert_eq!(
+                    make(threads),
+                    reference,
+                    "{strategy:?}/{model:?} diverged at threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// Every registered experiment table is bit-identical for the process
+/// default of 1, 2 and 8 worker threads.
+///
+/// Single test (not one per experiment) because the thread default is
+/// process-global: varying it concurrently from parallel tests would
+/// race. The default is restored to auto afterwards.
+#[test]
+fn every_experiment_table_identical_across_thread_counts() {
+    // e2 measures wall-clock scheduler runtime, which no seed can pin —
+    // every other experiment table must be reproduced bit-for-bit.
+    let deterministic: Vec<_> = ALL.iter().filter(|e| e.id != "e2").collect();
+    let reference: Vec<Table> = {
+        set_default_threads(1);
+        deterministic
+            .iter()
+            .map(|e| (e.run)(Scale::Smoke))
+            .collect()
+    };
+    for threads in [2usize, 8] {
+        set_default_threads(threads);
+        for (experiment, expected) in deterministic.iter().zip(&reference) {
+            let table = (experiment.run)(Scale::Smoke);
+            assert_eq!(
+                &table, expected,
+                "experiment {} diverged at threads={threads}",
+                experiment.id
+            );
+        }
+    }
+    set_default_threads(0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded (8-thread) and sequential (1-thread) round execution
+    /// agree on the full report for arbitrary small configurations.
+    #[test]
+    fn sharded_rounds_agree_with_sequential(
+        n_agents in 3usize..40,
+        rounds in 1u64..5,
+        sessions in 1usize..50,
+        seed in 0u64..1_000_000,
+        strategy_idx in 0usize..4,
+        workload_idx in 0usize..3,
+        gossip in 0usize..6,
+        dishonest in 0.0f64..0.9,
+    ) {
+        let base = MarketConfig {
+            n_agents,
+            rounds,
+            sessions_per_round: sessions,
+            strategy: Strategy::ALL[strategy_idx],
+            workload: Workload::ALL[workload_idx],
+            gossip_witnesses: gossip,
+            mix: PopulationMix::standard(dishonest, 0.25),
+            seed,
+            ..MarketConfig::default()
+        };
+        let sequential = MarketSim::new(MarketConfig { threads: 1, ..base.clone() }).run();
+        let sharded = MarketSim::new(MarketConfig { threads: 8, ..base }).run();
+        prop_assert_eq!(sharded, sequential);
+    }
+}

@@ -15,9 +15,12 @@
 //! * [`stats`] — small online statistics helpers (Welford mean/variance,
 //!   quantile samples, counters) shared by the experiment harness.
 //!
-//! The simulator is single-threaded by design: the experiments of the
-//! paper reproduction are specified as deterministic functions of a seed,
-//! which a multi-threaded event loop would break.
+//! * [`pool`] — a deterministic `std::thread` worker pool. Experiments
+//!   are specified as deterministic functions of a seed, so parallelism
+//!   is only ever applied to *pre-drawn* independent work (experiment
+//!   arms, pre-forked session streams) and results are reassembled in
+//!   submission order: thread count changes wall-clock time, never
+//!   results.
 //!
 //! ## Example
 //!
@@ -41,6 +44,7 @@
 pub mod churn;
 pub mod event;
 pub mod net;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -48,6 +52,7 @@ pub mod time;
 pub use churn::{ChurnModel, ChurnTimeline};
 pub use event::EventQueue;
 pub use net::{Latency, NetConfig, Network, NodeId};
+pub use pool::{parallel_map, resolve_threads, set_default_threads};
 pub use rng::SimRng;
 pub use stats::{Counters, Histogram, OnlineStats, Sample};
 pub use time::SimTime;

@@ -10,6 +10,7 @@
 //! harness uses to give every peer, every round and every experiment arm
 //! an independent but fully determined random stream.
 
+use std::collections::HashMap;
 use std::fmt;
 
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -213,16 +214,38 @@ impl SimRng {
 
     /// Samples `k` distinct indices from `[0, n)` (partial Fisher–Yates).
     ///
-    /// Returns fewer than `k` indices when `k > n`.
+    /// Returns fewer than `k` indices when `k > n`. Dense requests
+    /// (`k ≳ n/4`) materialise the `0..n` array and swap in place; sparse
+    /// requests (the common `k ≪ n` gossip/witness case at 10⁴–10⁵ peer
+    /// scale) simulate the same swaps through a hash map of displaced
+    /// positions in `O(k)` memory. Both paths consume the identical RNG
+    /// stream and return the identical sample.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
         let k = k.min(n);
-        let mut idx: Vec<usize> = (0..n).collect();
-        for i in 0..k {
-            let j = i + self.index(n - i);
-            idx.swap(i, j);
+        if k.saturating_mul(4) >= n {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + self.index(n - i);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        } else {
+            // Sparse: `displaced[p]` holds the value a full array would
+            // have at position `p` after the swaps so far. Positions
+            // `< i` are never drawn again, so only displaced positions
+            // `>= i` ever need to be remembered.
+            let mut displaced: HashMap<usize, usize> = HashMap::new();
+            let mut out = Vec::with_capacity(k);
+            for i in 0..k {
+                let j = i + self.index(n - i);
+                let value_at_j = displaced.get(&j).copied().unwrap_or(j);
+                let value_at_i = displaced.get(&i).copied().unwrap_or(i);
+                out.push(value_at_j);
+                displaced.insert(j, value_at_i);
+            }
+            out
         }
-        idx.truncate(k);
-        idx
     }
 
     /// Picks an index in `[0, weights.len())` with probability proportional
@@ -394,6 +417,52 @@ mod tests {
         let mut rng = SimRng::new(23);
         let s = rng.sample_indices(4, 10);
         assert_eq!(s.len(), 4);
+    }
+
+    /// Reference partial Fisher–Yates over the full `0..n` array.
+    fn sample_indices_dense_reference(rng: &mut SimRng, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + rng.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// The sparse (hash-map) path must return exactly what the dense
+    /// full-array swap would, consuming the identical stream — so the
+    /// k ≪ n fast path cannot silently change pinned experiment streams.
+    #[test]
+    fn sample_indices_sparse_matches_dense_reference() {
+        for (n, k) in [
+            (100, 3),
+            (1000, 1),
+            (1000, 10),
+            (50_000, 40),
+            (17, 4),
+            (64, 15),
+        ] {
+            let mut fast = SimRng::new(0xC0FFEE + n as u64 + k as u64);
+            let mut slow = fast.clone();
+            let got = fast.sample_indices(n, k);
+            let expected = sample_indices_dense_reference(&mut slow, n, k);
+            assert_eq!(got, expected, "n={n} k={k}");
+            assert_eq!(fast, slow, "stream consumption differs for n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn sample_indices_sparse_distinct_at_scale() {
+        let mut rng = SimRng::new(0xBEEF);
+        let s = rng.sample_indices(100_000, 64);
+        assert_eq!(s.len(), 64);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 64, "sparse sample repeated an index");
+        assert!(t.iter().all(|i| *i < 100_000));
     }
 
     #[test]
