@@ -11,7 +11,7 @@ use trustex_trust::model::PeerId;
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6/build");
     group.sample_size(10);
-    for n in [64usize, 256, 1024] {
+    for n in [64usize, 256, 1024, 4096] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut rng = SimRng::new(9);
@@ -24,7 +24,9 @@ fn bench_build(c: &mut Criterion) {
 
 fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6/query");
-    for n in [64usize, 256, 1024] {
+    // 16384 exercises the leaf directory at depth 12 — a query there
+    // was O(n) per replica-group resolution before the index.
+    for n in [64usize, 256, 1024, 16384] {
         let mut rng = SimRng::new(10);
         let grid = PGrid::build(n, PGridConfig::for_population(n, 4), &mut rng);
         let mut net = Network::new(NetConfig::default());

@@ -18,14 +18,33 @@ use trustex_reputation::pgrid::{PGrid, PGridConfig};
 use trustex_reputation::record::key_for_peer;
 use trustex_trust::model::PeerId;
 
-/// One P-Grid measurement: mean hops, messages per query, success rate.
+/// Outcome of one [`measure_grid`] arm.
+struct GridArm {
+    mean_hops: f64,
+    msgs_per_query: f64,
+    success: f64,
+    /// Success rate after [`PGrid::repair`], over the *identical* query
+    /// sequence — `None` unless the arm asked for the repair pass.
+    success_repaired: Option<f64>,
+}
+
+/// One P-Grid measurement arm: a self-contained build + churn + query
+/// workload, pure in its parameters and seed (so arms can fan across the
+/// worker pool).
+///
+/// When `measure_repair` is set, the arm additionally repairs the
+/// reference tables against the churn mask (evict dead references,
+/// refill by meetings among live peers) and replays the *same* query
+/// sequence — so the repaired column differs from the plain one only by
+/// the repair, not by the scenario.
 fn measure_grid(
     n: usize,
     replication: usize,
     down_fraction: f64,
+    measure_repair: bool,
     queries: usize,
     seed: u64,
-) -> (f64, f64, f64) {
+) -> GridArm {
     let mut rng = SimRng::new(seed);
     let cfg = PGridConfig::for_population(n, replication);
     let mut grid = PGrid::build(n, cfg, &mut rng);
@@ -43,29 +62,44 @@ fn measure_grid(
         grid.insert(i % n, key, item, None, &mut net, &mut rng);
     }
 
-    // Availability mask via a churn timeline snapshot.
+    // Availability mask via a churn timeline snapshot. The means are
+    // floored so `down_fraction` 0.0 and 1.0 stay valid models.
     let alive: Option<Vec<bool>> = if down_fraction > 0.0 {
-        let model = ChurnModel::new(1.0 - down_fraction, down_fraction);
+        let model = ChurnModel::new((1.0 - down_fraction).max(1e-6), down_fraction.max(1e-6));
         let tl = ChurnTimeline::generate(n, SimTime::from_secs(10), model, &mut rng);
         Some((0..n).map(|i| tl.is_up(i, SimTime::from_secs(5))).collect())
     } else {
         None
     };
 
+    // Query origins are drawn from the live peers, enumerated once —
+    // the old rejection-sampling loop spun forever when (nearly) every
+    // peer was down. With nobody up, the whole query set fails.
+    let live_origins: Vec<usize> = match alive.as_deref() {
+        Some(mask) => (0..n).filter(|&i| mask[i]).collect(),
+        None => (0..n).collect(),
+    };
+    if live_origins.is_empty() {
+        return GridArm {
+            mean_hops: 0.0,
+            msgs_per_query: 0.0,
+            success: 0.0,
+            success_repaired: measure_repair.then_some(0.0),
+        };
+    }
+
+    // The query workload runs off a fork so the post-repair pass can
+    // replay the identical sequence.
+    let qrng = rng.fork(0xE6);
     net.reset_counters();
+    let mut qrng_main = qrng.clone();
     let mut hops_sum = 0u64;
     let mut success = 0usize;
-    for q in 0..queries {
-        let subject = PeerId(rng.index(n) as u32);
+    for _ in 0..queries {
+        let subject = PeerId(qrng_main.index(n) as u32);
         let key = key_for_peer(subject, cfg.key_bits);
-        let origin = loop {
-            let o = rng.index(n);
-            if alive.as_deref().is_none_or(|a| a[o]) {
-                break o;
-            }
-        };
-        let _ = q;
-        let result = grid.query(origin, key, alive.as_deref(), &mut net, &mut rng);
+        let origin = live_origins[qrng_main.index(live_origins.len())];
+        let result = grid.query(origin, key, alive.as_deref(), &mut net, &mut qrng_main);
         if result.is_resolved() {
             success += 1;
             hops_sum += result.hops as u64;
@@ -73,14 +107,48 @@ fn measure_grid(
     }
     let msgs_per_query = net.total_sent() as f64 / queries as f64;
     let mean_hops = hops_sum as f64 / success.max(1) as f64;
-    (mean_hops, msgs_per_query, success as f64 / queries as f64)
+
+    let success_repaired = if measure_repair {
+        if let Some(mask) = alive.as_deref() {
+            grid.repair(mask, 4 * n, &mut rng);
+        }
+        let mut qrng_rep = qrng.clone();
+        let mut repaired = 0usize;
+        for _ in 0..queries {
+            let subject = PeerId(qrng_rep.index(n) as u32);
+            let key = key_for_peer(subject, cfg.key_bits);
+            let origin = live_origins[qrng_rep.index(live_origins.len())];
+            if grid
+                .query(origin, key, alive.as_deref(), &mut net, &mut qrng_rep)
+                .is_resolved()
+            {
+                repaired += 1;
+            }
+        }
+        Some(repaired as f64 / queries as f64)
+    } else {
+        None
+    };
+
+    GridArm {
+        mean_hops,
+        msgs_per_query,
+        success: success as f64 / queries as f64,
+        success_repaired,
+    }
 }
 
 /// E6 — *Figure R5*: reputation lookups cost `O(log N)` messages and
 /// survive churn thanks to replication — the property the paper's
-/// reference \[2\] rests on.
+/// reference \[2\] rests on. Paper scale runs the ladder up to the
+/// ROADMAP's north-star population of 65536 peers.
+///
+/// Every `(size, availability)` arm is an independent `measure_grid`
+/// call with its own pinned seed, so all arms fan across the worker
+/// pool in one batch and the table is bit-identical for any thread
+/// count.
 pub fn e6_pgrid(scale: Scale) -> Table {
-    let sizes: &[usize] = scale.pick(&[32, 128][..], &[16, 64, 256, 1024, 4096][..]);
+    let sizes: &[usize] = scale.pick(&[32, 128][..], &[16, 64, 256, 1024, 4096, 16384, 65536][..]);
     let queries = scale.pick(100, 400);
     let mut table = Table::new(
         "E6: P-Grid lookup cost and availability (replication 4)",
@@ -91,19 +159,36 @@ pub fn e6_pgrid(scale: Scale) -> Table {
             "success@0%down",
             "success@10%down",
             "success@30%down",
+            "success@30%down+repair",
         ],
     );
-    for &n in sizes {
-        let (hops, msgs, s0) = measure_grid(n, 4, 0.0, queries, 0xE6);
-        let (_, _, s10) = measure_grid(n, 4, 0.10, queries, 0xE6 + 1);
-        let (_, _, s30) = measure_grid(n, 4, 0.30, queries, 0xE6 + 2);
+    // Three availability arms per size; the 30%-down arm also measures
+    // the repaired-table success over its own query sequence.
+    const DOWN: [f64; 3] = [0.0, 0.10, 0.30];
+    let arms: Vec<(usize, f64, u64)> = sizes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &n)| {
+            DOWN.iter()
+                .enumerate()
+                .map(move |(j, &down)| (n, down, 0xE600 + 16 * i as u64 + j as u64))
+        })
+        .collect();
+    let results = parallel_map(0, arms, |_, (n, down, seed)| {
+        measure_grid(n, 4, down, down == 0.30, queries, seed)
+    });
+    for (i, &n) in sizes.iter().enumerate() {
+        let clean = &results[DOWN.len() * i];
+        let churn10 = &results[DOWN.len() * i + 1];
+        let churn30 = &results[DOWN.len() * i + 2];
         table.push_row(vec![
             n.into(),
-            hops.into(),
-            msgs.into(),
-            s0.into(),
-            s10.into(),
-            s30.into(),
+            clean.mean_hops.into(),
+            clean.msgs_per_query.into(),
+            clean.success.into(),
+            churn10.success.into(),
+            churn30.success.into(),
+            churn30.success_repaired.expect("repair pass ran").into(),
         ]);
     }
     table
@@ -198,8 +283,7 @@ pub fn e10_ablations(scale: Scale) -> Table {
     let repls = [1usize, 2, 4, 8];
     let successes = parallel_map(0, repls.to_vec(), |_, repl| {
         let n = scale.pick(64, 512);
-        let (_, _, success) = measure_grid(n, repl, 0.30, scale.pick(100, 300), 0xA2);
-        success
+        measure_grid(n, repl, 0.30, false, scale.pick(100, 300), 0xA2).success
     });
     for (repl, success) in repls.into_iter().zip(successes) {
         table.push_row(vec![
@@ -251,6 +335,40 @@ mod tests {
             assert!(num(&row[4]) >= num(&row[5]) - 0.05, "{row:?}");
             assert!(num(&row[5]) > 0.5, "30% churn should retain >50%: {row:?}");
         }
+    }
+
+    #[test]
+    fn e6_repair_recovers_churn_losses() {
+        let t = e6_pgrid(Scale::Smoke);
+        for row in t.rows() {
+            // The repair arm replays the 30%-down arm's exact scenario
+            // (same grid, mask, queries): repairing the reference tables
+            // must not lose availability — dead replica groups are the
+            // only remaining failure mode — and should approach the
+            // no-churn ceiling.
+            assert!(num(&row[6]) >= num(&row[5]) - 0.02, "{row:?}");
+            assert!(
+                num(&row[6]) > 0.85,
+                "repair should restore routing: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_grid_survives_total_blackout() {
+        // Regression: the origin sampler used to rejection-sample forever
+        // when every peer was down. A full blackout must terminate and
+        // report a failed query set.
+        let arm = measure_grid(64, 4, 1.0, true, 50, 0xB1AC0);
+        assert_eq!(arm.success, 0.0, "no live peers: every query fails");
+        assert_eq!(arm.mean_hops, 0.0);
+        assert_eq!(arm.msgs_per_query, 0.0);
+        assert_eq!(arm.success_repaired, Some(0.0), "repair cannot help nobody");
+        // A near-blackout (a handful of survivors) must also terminate,
+        // with or without the repair pass.
+        let arm = measure_grid(64, 4, 0.999, true, 50, 0xB1AC);
+        assert!(arm.success <= 0.1, "near-blackout cannot succeed");
+        assert!(arm.success_repaired.expect("repair pass ran") <= 0.1);
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! tests pin that contract for threads ∈ {1, 2, 8}.
 
 use proptest::{prop_assert_eq, proptest, ProptestConfig};
+use std::sync::Mutex;
 use trustex_agents::profile::PopulationMix;
-use trustex_market::experiments::{Scale, ALL};
+use trustex_market::experiments::{find, Scale, ALL};
 use trustex_market::prelude::*;
 use trustex_netsim::pool::set_default_threads;
+
+/// The worker-pool default is process-global: tests that vary it must
+/// serialise on this lock or they race each other's thread counts.
+static THREAD_DEFAULT: Mutex<()> = Mutex::new(());
 
 fn cfg(threads: usize, seed: u64) -> MarketConfig {
     MarketConfig {
@@ -52,12 +57,9 @@ fn market_report_identical_across_thread_counts() {
 
 /// Every registered experiment table is bit-identical for the process
 /// default of 1, 2 and 8 worker threads.
-///
-/// Single test (not one per experiment) because the thread default is
-/// process-global: varying it concurrently from parallel tests would
-/// race. The default is restored to auto afterwards.
 #[test]
 fn every_experiment_table_identical_across_thread_counts() {
+    let _guard = THREAD_DEFAULT.lock().unwrap_or_else(|e| e.into_inner());
     // e2 measures wall-clock scheduler runtime, which no seed can pin —
     // every other experiment table must be reproduced bit-for-bit.
     let deterministic: Vec<_> = ALL.iter().filter(|e| e.id != "e2").collect();
@@ -78,6 +80,29 @@ fn every_experiment_table_identical_across_thread_counts() {
                 experiment.id
             );
         }
+    }
+    set_default_threads(0);
+}
+
+/// E6 fans its `measure_grid` arms (size × availability, including the
+/// churn-repair pass) across the worker pool; each arm owns a pinned
+/// seed, so the assembled table must be bit-identical for any thread
+/// count. Pinned separately from the all-experiment sweep because the
+/// arm fan-out is new and E6 is the one experiment whose arms mutate a
+/// shared-nothing `PGrid` rather than a `MarketSim`.
+#[test]
+fn e6_pgrid_table_identical_across_thread_counts() {
+    let _guard = THREAD_DEFAULT.lock().unwrap_or_else(|e| e.into_inner());
+    let e6 = find("e6").expect("e6 registered");
+    set_default_threads(1);
+    let reference = (e6.run)(Scale::Smoke);
+    for threads in [2usize, 8] {
+        set_default_threads(threads);
+        assert_eq!(
+            (e6.run)(Scale::Smoke),
+            reference,
+            "e6 diverged at threads={threads}"
+        );
     }
     set_default_threads(0);
 }

@@ -3,19 +3,48 @@
 //!
 //! Each peer owns a binary *path*; it stores the data items whose keys
 //! the path prefixes, and it keeps, for every level `l` of its path, a
-//! small list of *references* to peers on the other side of the trie at
-//! that level (same first `l` bits, opposite bit `l`). Queries greedily
-//! resolve one more key bit per hop, giving `O(log N)` routing messages.
-//! Peers sharing the same full path are *replicas* of each other.
+//! small bucket of *references* to peers on the other side of the trie
+//! at that level (same first `l` bits, opposite bit `l`). Queries
+//! greedily resolve one more key bit per hop, giving `O(log N)` routing
+//! messages. Peers sharing the same full path are *replicas* of each
+//! other.
 //!
 //! The grid is built by the emergent pairwise-meeting protocol: peers
-//! repeatedly meet at random; peers with identical paths split the key
-//! space between them, peers with diverging paths exchange references.
-//! Splitting stops at a configured depth so that each leaf retains a
-//! replica group.
+//! repeatedly meet — uniformly at random for cross-subtree references
+//! and, in alternation, within their own subspace (the recursive
+//! meeting cascade, sampled through the leaf directory) so that
+//! identical-path peers keep splitting the key space even at 10^5-peer
+//! populations. Splitting stops at a configured depth so that each leaf
+//! retains a replica group.
+//!
+//! # Scaling structures (10^5-peer populations)
+//!
+//! Three structures keep every operation sub-linear in the population so
+//! the grid holds up at the 10^4–10^5 peers the experiments target:
+//!
+//! * **Leaf directory.** A sorted directory (`BTreeMap<BitPath, _>`, in
+//!   trie depth-first order) maps every *occupied* path to the dense
+//!   indices of the peers owning it. It is updated incrementally each
+//!   time a meeting extends a path, with an O(1) positional swap-remove.
+//!   Invariant: each peer appears in exactly one bucket — the one for
+//!   its current path — so replica-group resolution probes at most
+//!   `max_depth + 1` prefixes of the key instead of scanning all `N`
+//!   peers ([`PGrid::responsible_peers`] is `O(depth · log leaves)`).
+//! * **Bounded reference buckets.** Each per-level reference bucket
+//!   holds at most `max_refs` entries stamped with the meeting tick that
+//!   last confirmed them; when a full bucket must admit a new peer, the
+//!   *stalest* entry is evicted (recency as a liveness proxy), and
+//!   [`PGrid::repair`] evicts references to peers a churn mask reports
+//!   down before refilling tables with meetings among live peers.
+//! * **Complaint compaction.** A peer's store keeps one entry per
+//!   `(by, about)` pair — the latest round wins — so repeated inserts
+//!   about the same relationship never grow a replica's store beyond
+//!   the number of distinct complaining pairs in its subspace. Replica
+//!   synchronisation merges stores under the same latest-round rule.
 
 use crate::record::{BitPath, Complaint, Key};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use trustex_netsim::net::{Delivery, Network};
 use trustex_netsim::rng::SimRng;
 use trustex_netsim::time::SimTime;
@@ -32,8 +61,10 @@ pub struct PGridConfig {
     pub max_depth: u8,
     /// Maximum references kept per level.
     pub max_refs: usize,
-    /// Bootstrap meetings per peer (more meetings = better-filled
-    /// reference tables).
+    /// Global-mixing bootstrap meetings per peer (more meetings =
+    /// better-filled reference tables). The split-cascade and
+    /// replica-mixing phases of [`PGrid::build`] are fixed-budget and
+    /// not counted here.
     pub meetings_per_peer: usize,
 }
 
@@ -43,7 +74,7 @@ impl Default for PGridConfig {
             key_bits: 16,
             max_depth: 6,
             max_refs: 4,
-            meetings_per_peer: 150,
+            meetings_per_peer: 48,
         }
     }
 }
@@ -70,16 +101,24 @@ impl PGridConfig {
     }
 }
 
+/// One bounded-bucket reference entry: a peer and the meeting tick that
+/// last confirmed it (higher = fresher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct RefEntry {
+    peer: usize,
+    stamp: u64,
+}
+
 /// One peer's trie position, references and local store.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PeerNode {
     id: PeerId,
     path: BitPath,
-    /// `refs[l]` = peers with the same first `l` bits and opposite bit
-    /// `l`. Indexed by level, length = `path.len()`.
-    refs: Vec<Vec<usize>>,
-    /// Complaints stored at this peer (deduplicated, ordered).
-    store: std::collections::BTreeSet<Complaint>,
+    /// `refs[l]` = bounded bucket of peers with the same first `l` bits
+    /// and opposite bit `l`. Indexed by level, length = `path.len()`.
+    refs: Vec<Vec<RefEntry>>,
+    /// Compacted complaint store: latest round per `(by, about)` pair.
+    store: BTreeMap<(PeerId, PeerId), u64>,
 }
 
 impl PeerNode {
@@ -93,14 +132,25 @@ impl PeerNode {
         self.path
     }
 
-    /// Complaints currently stored at this peer.
-    pub fn stored(&self) -> impl ExactSizeIterator<Item = &Complaint> + '_ {
-        self.store.iter()
+    /// Complaints currently stored at this peer (one per `(by, about)`
+    /// pair, carrying the latest round seen).
+    pub fn stored(&self) -> impl ExactSizeIterator<Item = Complaint> + '_ {
+        self.store
+            .iter()
+            .map(|(&(by, about), &round)| Complaint { by, about, round })
     }
 
-    /// Number of stored complaints.
+    /// Number of stored complaints (distinct `(by, about)` pairs).
     pub fn store_len(&self) -> usize {
         self.store.len()
+    }
+
+    /// Compacting upsert: keeps the latest round per `(by, about)` pair.
+    fn store_insert(&mut self, item: Complaint) {
+        self.store
+            .entry((item.by, item.about))
+            .and_modify(|r| *r = (*r).max(item.round))
+            .or_insert(item.round);
     }
 }
 
@@ -139,6 +189,14 @@ impl QueryResult {
 pub struct PGrid {
     cfg: PGridConfig,
     peers: Vec<PeerNode>,
+    /// Sorted leaf directory: occupied path → dense indices of its
+    /// owners, maintained incrementally as meetings extend paths.
+    leaf_dir: BTreeMap<BitPath, Vec<usize>>,
+    /// `dir_pos[i]` = position of peer `i` inside its directory bucket
+    /// (makes directory moves O(1) via swap-remove).
+    dir_pos: Vec<usize>,
+    /// Meeting tick, stamps reference entries for recency eviction.
+    clock: u64,
 }
 
 impl PGrid {
@@ -160,7 +218,22 @@ impl PGrid {
                     store: Default::default(),
                 })
                 .collect(),
+            leaf_dir: BTreeMap::from([(BitPath::EMPTY, (0..n).collect())]),
+            dir_pos: (0..n).collect(),
+            clock: 0,
         };
+        // Phase 1 — split cascade: every round pairs up the peers inside
+        // each occupied bucket (shuffled), so identical-path peers keep
+        // meeting and splitting all the way to `max_depth`. Uniform
+        // random pairs alone almost never share a path once the
+        // population is large, which stalled the trie a few levels deep;
+        // the cascade matures it in `O(n · depth)` meetings.
+        for _ in 0..cfg.max_depth {
+            grid.bucket_pairing_round(rng);
+        }
+        // Phase 2 — global mixing: uniform random meetings fill the
+        // cross-subtree (shallow-level) reference buckets and gossip
+        // them around.
         let meetings = cfg.meetings_per_peer.saturating_mul(n) / 2;
         for _ in 0..meetings {
             let a = rng.index(n);
@@ -169,7 +242,31 @@ impl PGrid {
                 grid.meet(a, b, rng);
             }
         }
+        // Phase 3 — replica mixing: a few more bucket-pairing rounds.
+        // Same-path meetings gossip across *every* level, so the deep
+        // reference buckets (unreachable by random pairing) spread
+        // through each replica group, and replica stores synchronise.
+        for _ in 0..4 {
+            grid.bucket_pairing_round(rng);
+        }
         grid
+    }
+
+    /// One cascade round: pair up (shuffled) the members of every bucket
+    /// with at least two peers and run the pairwise meetings.
+    fn bucket_pairing_round(&mut self, rng: &mut SimRng) {
+        let buckets: Vec<Vec<usize>> = self
+            .leaf_dir
+            .values()
+            .filter(|b| b.len() >= 2)
+            .cloned()
+            .collect();
+        for mut members in buckets {
+            rng.shuffle(&mut members);
+            for pair in members.chunks_exact(2) {
+                self.meet(pair[0], pair[1], rng);
+            }
+        }
     }
 
     /// The active configuration.
@@ -185,6 +282,18 @@ impl PGrid {
     /// Whether the grid has no peers (never true after `build`).
     pub fn is_empty(&self) -> bool {
         self.peers.is_empty()
+    }
+
+    /// Number of distinct occupied paths in the leaf directory.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_dir.len()
+    }
+
+    /// The defensive routing hop bound: greedy routing resolves at least
+    /// one key bit per hop, so anything past this indicates a
+    /// reference-table inconsistency.
+    pub fn hop_limit(&self) -> u32 {
+        4 * self.cfg.key_bits as u32 + 8
     }
 
     /// The peer at a dense index.
@@ -203,6 +312,7 @@ impl PGrid {
 
     /// The pairwise-meeting exchange at the heart of P-Grid construction.
     fn meet(&mut self, a: usize, b: usize, rng: &mut SimRng) {
+        self.clock += 1;
         let (pa, pb) = (self.peers[a].path, self.peers[b].path);
         let l = pa.common_prefix(pb);
         if l == pa.len() && l == pb.len() {
@@ -214,15 +324,19 @@ impl PGrid {
                 self.add_ref(a, l, b);
                 self.add_ref(b, l, a);
             }
-            // At max depth the two peers are replicas: synchronise stores.
+            // At max depth the two peers are replicas: synchronise stores
+            // under the compaction rule (latest round per pair wins).
             else {
-                let union: std::collections::BTreeSet<Complaint> = self.peers[a]
-                    .store
-                    .union(&self.peers[b].store)
-                    .copied()
-                    .collect();
-                self.peers[a].store = union.clone();
-                self.peers[b].store = union;
+                let taken = std::mem::take(&mut self.peers[a].store);
+                let mut merged = std::mem::take(&mut self.peers[b].store);
+                for (pair, round) in taken {
+                    merged
+                        .entry(pair)
+                        .and_modify(|r| *r = (*r).max(round))
+                        .or_insert(round);
+                }
+                self.peers[a].store = merged.clone();
+                self.peers[b].store = merged;
             }
         } else if l == pa.len() {
             // a's path is a proper prefix of b's: a specialises to the
@@ -246,14 +360,14 @@ impl PGrid {
         let common = self.peers[a].path.common_prefix(self.peers[b].path);
         for level in 0..common {
             let level = level as usize;
-            if let Some(&shared) = self.peers[a]
+            if let Some(&RefEntry { peer: shared, .. }) = self.peers[a]
                 .refs
                 .get(level)
                 .and_then(|v| rng.pick(v.as_slice()))
             {
                 self.add_ref(b, level as u8, shared);
             }
-            if let Some(&shared) = self.peers[b]
+            if let Some(&RefEntry { peer: shared, .. }) = self.peers[b]
                 .refs
                 .get(level)
                 .and_then(|v| rng.pick(v.as_slice()))
@@ -264,9 +378,34 @@ impl PGrid {
     }
 
     fn extend_path(&mut self, peer: usize, bit: bool) {
+        let old = self.peers[peer].path;
         let node = &mut self.peers[peer];
         node.path = node.path.child(bit);
         node.refs.push(Vec::new());
+        let new = self.peers[peer].path;
+        self.dir_remove(peer, old);
+        self.dir_insert(peer, new);
+    }
+
+    /// Removes `peer` from its directory bucket in O(1) (positional
+    /// swap-remove; the displaced peer's position is patched).
+    fn dir_remove(&mut self, peer: usize, path: BitPath) {
+        let bucket = self.leaf_dir.get_mut(&path).expect("peer is indexed");
+        let pos = self.dir_pos[peer];
+        debug_assert_eq!(bucket[pos], peer, "directory position out of sync");
+        bucket.swap_remove(pos);
+        if let Some(&moved) = bucket.get(pos) {
+            self.dir_pos[moved] = pos;
+        }
+        if bucket.is_empty() {
+            self.leaf_dir.remove(&path);
+        }
+    }
+
+    fn dir_insert(&mut self, peer: usize, path: BitPath) {
+        let bucket = self.leaf_dir.entry(path).or_default();
+        self.dir_pos[peer] = bucket.len();
+        bucket.push(peer);
     }
 
     fn add_ref(&mut self, peer: usize, level: u8, target: usize) {
@@ -283,23 +422,45 @@ impl PGrid {
             return;
         }
         let max_refs = self.cfg.max_refs;
-        let node = &mut self.peers[peer];
-        let level_refs = &mut node.refs[level as usize];
-        if !level_refs.contains(&target) {
-            if level_refs.len() >= max_refs {
-                level_refs.remove(0); // FIFO eviction
-            }
-            level_refs.push(target);
+        let stamp = self.clock;
+        let bucket = &mut self.peers[peer].refs[level as usize];
+        if let Some(entry) = bucket.iter_mut().find(|e| e.peer == target) {
+            entry.stamp = stamp; // re-confirmed: refresh recency
+            return;
         }
+        if bucket.len() >= max_refs {
+            // Evict the stalest entry (recency as a liveness proxy).
+            let victim = bucket
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("bucket non-empty");
+            bucket.remove(victim);
+        }
+        bucket.push(RefEntry {
+            peer: target,
+            stamp,
+        });
     }
 
     /// Dense indices of all peers responsible for `key` (ground truth,
-    /// not a network operation).
+    /// not a network operation), in ascending index order.
+    ///
+    /// Resolved through the leaf directory: one probe per candidate
+    /// depth, `O(max_depth · log leaves)` instead of the naive full
+    /// population scan.
     pub fn responsible_peers(&self, key: Key) -> Vec<usize> {
         let w = self.cfg.key_bits;
-        (0..self.peers.len())
-            .filter(|&i| self.peers[i].path.is_prefix_of_key(key, w))
-            .collect()
+        let mut out = Vec::new();
+        for len in 0..=self.cfg.max_depth {
+            let prefix = BitPath::key_prefix(key, len, w);
+            if let Some(bucket) = self.leaf_dir.get(&prefix) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Greedy routing from `origin` towards a peer responsible for `key`.
@@ -324,7 +485,7 @@ impl PGrid {
         let mut current = origin;
         let mut hops = 0u32;
         let mut latency = SimTime::ZERO;
-        let hop_limit = 4 * w as u32 + 8;
+        let hop_limit = self.hop_limit();
         loop {
             let node = &self.peers[current];
             if node.path.is_prefix_of_key(key, w) {
@@ -334,7 +495,7 @@ impl PGrid {
             let candidates: Vec<usize> = node
                 .refs
                 .get(level)
-                .map(|v| v.iter().copied().filter(|&i| up(i)).collect())
+                .map(|v| v.iter().map(|e| e.peer).filter(|&i| up(i)).collect())
                 .unwrap_or_default();
             let Some(&next) = rng.pick(&candidates) else {
                 return None; // dead end: no live reference at this level
@@ -358,10 +519,9 @@ impl PGrid {
     /// member this model charges.
     fn replica_group_for_key(&self, key: Key, alive: Option<&[bool]>) -> Vec<usize> {
         let up = |i: usize| alive.is_none_or(|a| a[i]);
-        let w = self.cfg.key_bits;
-        (0..self.peers.len())
-            .filter(|&i| up(i) && self.peers[i].path.is_prefix_of_key(key, w))
-            .collect()
+        let mut group = self.responsible_peers(key);
+        group.retain(|&i| up(i));
+        group
     }
 
     /// Inserts a complaint under `key`: routes to a responsible replica,
@@ -392,7 +552,7 @@ impl PGrid {
                     Delivery::Dropped => continue,
                 }
             }
-            self.peers[member].store.insert(item);
+            self.peers[member].store_insert(item);
             reached += 1;
         }
         InsertReceipt {
@@ -429,15 +589,13 @@ impl PGrid {
                 }
             }
             let items: Vec<Complaint> = self.peers[member]
-                .store
-                .iter()
+                .stored()
                 .filter(|c| {
                     // Only items indexed under the queried key — a peer's
                     // store can hold items for every key in its subspace.
                     crate::record::key_for_peer(c.by, w) == key
                         || crate::record::key_for_peer(c.about, w) == key
                 })
-                .copied()
                 .collect();
             answers.push((member, items));
         }
@@ -445,6 +603,40 @@ impl PGrid {
             hops,
             answers,
             latency: latency + max_extra,
+        }
+    }
+
+    /// Repairs reference tables after churn: every live peer evicts its
+    /// references to peers `alive` reports down (liveness-aware
+    /// eviction), then `meetings` additional random meetings among live
+    /// peers refill the buckets and re-synchronise replica stores.
+    ///
+    /// Down peers keep their state untouched — when they return, the
+    /// regular meeting protocol reintegrates them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len() != self.len()`.
+    pub fn repair(&mut self, alive: &[bool], meetings: usize, rng: &mut SimRng) {
+        assert_eq!(alive.len(), self.peers.len(), "mask length mismatch");
+        for (i, node) in self.peers.iter_mut().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            for bucket in &mut node.refs {
+                bucket.retain(|e| alive[e.peer]);
+            }
+        }
+        let live: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        if live.len() < 2 {
+            return;
+        }
+        for _ in 0..meetings {
+            let a = live[rng.index(live.len())];
+            let b = live[rng.index(live.len())];
+            if a != b {
+                self.meet(a, b, rng);
+            }
         }
     }
 
@@ -513,6 +705,49 @@ mod tests {
                 })
                 .count();
             assert!(count >= 1, "leaf {leaf:04b} unpopulated");
+        }
+    }
+
+    #[test]
+    fn leaf_directory_matches_naive_scan() {
+        let (g, mut rng, _) = grid(160, 5, 21);
+        let w = g.config().key_bits;
+        for _ in 0..300 {
+            let key = Key::from_bits(rng.next_u64() as u32 & 0xFFFF);
+            let naive: Vec<usize> = (0..g.len())
+                .filter(|&i| g.peer(i).path().is_prefix_of_key(key, w))
+                .collect();
+            assert_eq!(g.responsible_peers(key), naive, "key {:#x}", key.bits());
+        }
+        // Directory invariants: every peer appears in exactly one bucket,
+        // at the position `dir_pos` records, and only occupied paths
+        // have entries.
+        let indexed: usize = g.leaf_dir.values().map(Vec::len).sum();
+        assert_eq!(indexed, g.len());
+        for (path, bucket) in &g.leaf_dir {
+            assert!(!bucket.is_empty(), "empty bucket for {path}");
+            for (pos, &peer) in bucket.iter().enumerate() {
+                assert_eq!(g.peer(peer).path(), *path);
+                assert_eq!(g.dir_pos[peer], pos);
+            }
+        }
+        // Occupied paths: all 2^d leaves plus possibly a few shallower
+        // stragglers — never more than the whole trie.
+        assert!(g.leaf_count() < 1 << (g.config().max_depth + 1));
+    }
+
+    #[test]
+    fn reference_buckets_stay_bounded() {
+        let (g, _, _) = grid(256, 6, 22);
+        for p in g.iter() {
+            for (level, bucket) in p.refs.iter().enumerate() {
+                assert!(
+                    bucket.len() <= g.config().max_refs,
+                    "peer {} level {level} holds {} refs",
+                    p.id(),
+                    bucket.len()
+                );
+            }
         }
     }
 
@@ -596,8 +831,80 @@ mod tests {
             "expected multi-replica insert, got {}",
             receipt.replicas_reached
         );
-        let holders = g.iter().filter(|p| p.store.contains(&c)).count();
+        let holders = g.iter().filter(|p| p.stored().any(|x| x == c)).count();
         assert_eq!(holders, receipt.replicas_reached);
+    }
+
+    #[test]
+    fn complaint_compaction_keeps_latest_round() {
+        let (mut g, mut rng, mut net) = grid(64, 3, 13);
+        let subject = PeerId(7);
+        let key = crate::record::key_for_peer(subject, g.config().key_bits);
+        let pair = |round| Complaint {
+            by: PeerId(2),
+            about: subject,
+            round,
+        };
+        // Repeated inserts for the same (by, about) pair never grow the
+        // stores; the latest round wins regardless of arrival order.
+        for round in [1u64, 5, 3] {
+            g.insert(0, key, pair(round), None, &mut net, &mut rng);
+        }
+        let holders: Vec<&PeerNode> = g.iter().filter(|p| p.store_len() > 0).collect();
+        assert!(!holders.is_empty());
+        for p in holders {
+            assert_eq!(p.store_len(), 1, "store must stay compacted");
+            assert_eq!(p.stored().next().expect("one item"), pair(5));
+        }
+        // A different pair is a separate entry.
+        g.insert(
+            0,
+            key,
+            Complaint {
+                by: PeerId(3),
+                about: subject,
+                round: 0,
+            },
+            None,
+            &mut net,
+            &mut rng,
+        );
+        assert!(g.iter().any(|p| p.store_len() == 2));
+    }
+
+    #[test]
+    fn repair_restores_routing_after_churn() {
+        let (mut g, mut rng, mut net) = grid(192, 5, 14);
+        // Take down 40% of peers.
+        let alive: Vec<bool> = (0..g.len()).map(|_| !rng.chance(0.4)).collect();
+        let success = |g: &PGrid, rng: &mut SimRng, net: &mut Network| {
+            let mut ok = 0;
+            for t in 0..100u32 {
+                let key = crate::record::key_for_peer(PeerId(t), g.config().key_bits);
+                let origin = (0..g.len()).find(|&i| alive[i]).expect("someone is up");
+                if g.route(origin, key, Some(&alive), net, rng).is_some() {
+                    ok += 1;
+                }
+            }
+            ok
+        };
+        let before = success(&g, &mut rng, &mut net);
+        g.repair(&alive, 8 * g.len(), &mut rng);
+        let after = success(&g, &mut rng, &mut net);
+        assert!(
+            after >= before && after >= 95,
+            "repair should restore routing: {before} -> {after}"
+        );
+        // Live peers hold no references to dead peers right after the
+        // eviction pass unless a later meeting gossiped one back in —
+        // either way, the buckets stay bounded.
+        for (i, p) in g.iter().enumerate() {
+            if alive[i] {
+                for bucket in &p.refs {
+                    assert!(bucket.len() <= g.config().max_refs);
+                }
+            }
+        }
     }
 
     #[test]

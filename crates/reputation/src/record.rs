@@ -77,10 +77,32 @@ pub fn key_for_peer(peer: PeerId, width: u8) -> Key {
 /// A peer's binary path: the trie position it is responsible for.
 ///
 /// The empty path is responsible for the whole key space.
+///
+/// Paths are totally ordered lexicographically (bit by bit, a prefix
+/// before its extensions), i.e. trie depth-first order — the order the
+/// P-Grid leaf directory keeps its entries in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct BitPath {
     bits: u32, // left-aligned within `len` lowest-significance convention below
     len: u8,
+}
+
+impl Ord for BitPath {
+    fn cmp(&self, other: &BitPath) -> std::cmp::Ordering {
+        // Left-align both bit strings in a u64 (shift ≤ 32, always valid)
+        // so the bitwise comparison is lexicographic; ties on the aligned
+        // bits mean one path prefixes the other — the shorter sorts first.
+        let align = |p: &BitPath| (p.bits as u64) << (32 - p.len as u32);
+        align(self)
+            .cmp(&align(other))
+            .then(self.len.cmp(&other.len))
+    }
+}
+
+impl PartialOrd for BitPath {
+    fn partial_cmp(&self, other: &BitPath) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl BitPath {
@@ -98,6 +120,24 @@ impl BitPath {
         let mask = if len == 0 { 0 } else { u32::MAX >> (32 - len) };
         BitPath {
             bits: bits & mask,
+            len,
+        }
+    }
+
+    /// The path formed by the first `len` bits of a `width`-bit key —
+    /// the trie node covering the key at depth `len`. This is the lookup
+    /// key the P-Grid leaf directory is probed with, one per depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > width` or `width > 32`.
+    pub fn key_prefix(key: Key, len: u8, width: u8) -> BitPath {
+        assert!(len <= width && width <= 32, "prefix longer than key");
+        if len == 0 {
+            return BitPath::EMPTY;
+        }
+        BitPath {
+            bits: key.bits() >> (width - len),
             len,
         }
     }
@@ -152,20 +192,26 @@ impl BitPath {
 
     /// Length of the common prefix with a `width`-bit key.
     pub fn common_prefix_with_key(self, key: Key, width: u8) -> u8 {
-        let mut l = 0;
-        while l < self.len && l < width && self.bit(l) == key.bit(l, width) {
-            l += 1;
+        if self.len == 0 || width == 0 {
+            return 0;
         }
-        l
+        // Align both bit strings at the top of a u64 and count matching
+        // leading bits in one XOR — constant-time, the routing hot path.
+        let a = (self.bits as u64) << (64 - self.len as u32);
+        let b = (key.bits() as u64) << (64 - width as u32);
+        let matched = (a ^ b).leading_zeros().min(32) as u8;
+        matched.min(self.len).min(width)
     }
 
     /// Length of the common prefix with another path.
     pub fn common_prefix(self, other: BitPath) -> u8 {
-        let mut l = 0;
-        while l < self.len && l < other.len && self.bit(l) == other.bit(l) {
-            l += 1;
+        if self.len == 0 || other.len == 0 {
+            return 0;
         }
-        l
+        let a = (self.bits as u64) << (64 - self.len as u32);
+        let b = (other.bits as u64) << (64 - other.len as u32);
+        let matched = (a ^ b).leading_zeros().min(32) as u8;
+        matched.min(self.len).min(other.len)
     }
 }
 
@@ -247,6 +293,35 @@ mod tests {
         let k = Key::from_bits(0b1000);
         assert_eq!(p.common_prefix_with_key(k, 4), 2);
         assert_eq!(q.common_prefix_with_key(k, 4), 3);
+    }
+
+    #[test]
+    fn key_prefix_matches_manual_bits() {
+        let key = Key::from_bits(0b1011_0010_1100_0110);
+        for len in 0..=16u8 {
+            let p = BitPath::key_prefix(key, len, 16);
+            assert_eq!(p.len(), len);
+            for i in 0..len {
+                assert_eq!(p.bit(i), key.bit(i, 16), "len {len} bit {i}");
+            }
+            assert!(p.is_prefix_of_key(key, 16));
+        }
+        assert_eq!(BitPath::key_prefix(key, 0, 16), BitPath::EMPTY);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_dfs() {
+        let e = BitPath::EMPTY;
+        let p0 = BitPath::from_bits(0b0, 1);
+        let p00 = BitPath::from_bits(0b00, 2);
+        let p01 = BitPath::from_bits(0b01, 2);
+        let p1 = BitPath::from_bits(0b1, 1);
+        let p10 = BitPath::from_bits(0b10, 2);
+        // Depth-first order: a prefix sorts before its extensions, and
+        // sibling subtrees sort 0-side first.
+        let mut v = vec![p10, p01, p1, e, p00, p0];
+        v.sort();
+        assert_eq!(v, vec![e, p0, p00, p01, p1, p10]);
     }
 
     #[test]
