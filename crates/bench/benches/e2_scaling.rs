@@ -1,12 +1,16 @@
-//! E2 bench: scheduler runtime scaling — the quadratic Sandholm-style
-//! construction vs the `O(n log n)` greedy, across instance sizes.
+//! E2 bench: scheduler runtime scaling — the allocation-free greedy hot
+//! path to `n = 10⁶`, the indexed `O(n log n)` Sandholm to `n = 10⁵`,
+//! the original `O(n²)` scan while affordable, and the exact oracles at
+//! their differential-suite sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use trustex_core::goods::Goods;
+use trustex_core::goods::{Goods, ItemId};
 use trustex_core::money::Money;
 use trustex_core::safety::SafetyMargins;
-use trustex_core::scheduler::{greedy_order, sandholm_order, subset_dp_order};
+use trustex_core::scheduler::{
+    branch_and_bound_order, sandholm_order_scan, subset_dp_order, Scheduler,
+};
 use trustex_netsim::rng::SimRng;
 
 fn instance(n: usize, seed: u64) -> Goods {
@@ -34,11 +38,12 @@ fn wide_margins(goods: &Goods) -> SafetyMargins {
 
 fn bench_greedy(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2/greedy");
-    for n in [16usize, 64, 256, 1024, 4096] {
+    let mut sched = Scheduler::new();
+    for n in [1024usize, 16_384, 65_536, 262_144, 1_000_000] {
         let goods = instance(n, 2);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &goods, |b, g| {
-            b.iter(|| black_box(greedy_order(g)))
+            b.iter(|| black_box(sched.min_required_margin(g)))
         });
     }
     group.finish();
@@ -46,12 +51,32 @@ fn bench_greedy(c: &mut Criterion) {
 
 fn bench_sandholm(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2/sandholm");
-    for n in [16usize, 64, 256, 1024] {
+    let mut sched = Scheduler::new();
+    let mut order: Vec<ItemId> = Vec::new();
+    for n in [1024usize, 16_384, 100_000] {
         let goods = instance(n, 3);
         let margins = wide_margins(&goods);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &goods, |b, g| {
-            b.iter(|| black_box(sandholm_order(g, margins).expect("feasible")))
+            b.iter(|| {
+                sched
+                    .sandholm_order_into(g, margins, &mut order)
+                    .expect("feasible");
+                black_box(order.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sandholm_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/sandholm_scan");
+    for n in [256usize, 1024, 4096] {
+        let goods = instance(n, 3);
+        let margins = wide_margins(&goods);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &goods, |b, g| {
+            b.iter(|| black_box(sandholm_order_scan(g, margins).expect("feasible")))
         });
     }
     group.finish();
@@ -69,5 +94,27 @@ fn bench_subset_dp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_greedy, bench_sandholm, bench_subset_dp);
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/bnb");
+    for n in [16usize, 24, 30] {
+        let goods = instance(n, 4);
+        // The exact feasibility boundary, where the search actually
+        // branches (wide margins hit the root completion bound).
+        let req = trustex_core::scheduler::min_required_margin(&goods);
+        let margins = SafetyMargins::new(req, Money::ZERO).expect("non-negative");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &goods, |b, g| {
+            b.iter(|| black_box(branch_and_bound_order(g, margins).expect("size ok")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_sandholm,
+    bench_sandholm_scan,
+    bench_subset_dp,
+    bench_branch_and_bound
+);
 criterion_main!(benches);

@@ -14,6 +14,12 @@
 //! (override the path with `--bench-out PATH`), a flat JSON object
 //! mapping experiment id → milliseconds, so CI can track the perf
 //! trajectory per PR.
+//!
+//! Every table except E2 is a pure function of its seed (bit-identical
+//! for any `--threads`). E2 is the scheduler scaling ladder — greedy to
+//! `n = 10⁶`, indexed sandholm to `n = 10⁵`, the quadratic scan to
+//! `n = 4096`, branch-and-bound to `n = 30` — whose cells are wall-clock
+//! medians and therefore machine-dependent by design.
 
 use std::time::Instant;
 use trustex_bench::timings_to_json;

@@ -197,6 +197,14 @@ impl Goods {
         self.items.iter()
     }
 
+    /// All items as a dense slice in id order (`slice[i].id().index() == i`).
+    ///
+    /// The scheduler hot paths index this slice directly instead of going
+    /// through per-id lookups.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
     /// All item ids in id order.
     pub fn ids(&self) -> impl ExactSizeIterator<Item = ItemId> + '_ {
         self.items.iter().map(|i| i.id)
@@ -340,5 +348,16 @@ mod tests {
         let n_ref = (&g).into_iter().count();
         assert_eq!(n_ref, 3);
         assert_eq!(g.iter().len(), 3);
+    }
+
+    #[test]
+    fn items_slice_is_dense_in_id_order() {
+        let g = goods_abc();
+        let items = g.items();
+        assert_eq!(items.len(), g.len());
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.id().index(), i);
+            assert_eq!(g.item(item.id()), item);
+        }
     }
 }

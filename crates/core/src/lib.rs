@@ -77,7 +77,9 @@ pub mod prelude {
     pub use crate::money::Money;
     pub use crate::policy::PaymentPolicy;
     pub use crate::safety::{SafetyCheck, SafetyMargins, SafetyWindow};
-    pub use crate::scheduler::{feasible, min_required_margin, schedule, Algorithm, ScheduleError};
+    pub use crate::scheduler::{
+        feasible, min_required_margin, schedule, Algorithm, ScheduleError, Scheduler,
+    };
     pub use crate::sequence::{verify, Action, ExchangeSequence, VerifiedSequence, VerifyError};
     pub use crate::state::{ExchangeState, Progress, Role, StateView};
 }

@@ -1,5 +1,7 @@
-//! Exchange schedulers: the paper's quadratic algorithm, an optimal
-//! `O(n log n)` greedy, and an exponential-space ground truth.
+//! Exchange schedulers: the paper's quadratic algorithm (kept as a
+//! reference oracle), an indexed `O(n log n)` equivalent, an optimal
+//! `O(n log n)` greedy with an allocation-free hot path, and two exact
+//! ground-truth solvers (subset DP and branch-and-bound).
 //!
 //! # Theory
 //!
@@ -29,29 +31,41 @@
 //! sequence** — the impossibility the paper cites from Sandholm, and the
 //! reason reputation/trust must widen the window.
 //!
-//! # The three implementations
+//! # The implementations
 //!
 //! * [`greedy_order`] — sorts negative-surplus items by ascending `Vc`,
 //!   then positive-surplus items by descending `Vs`. An adjacent-exchange
 //!   argument (see `min_required_margin`) shows this order minimises
 //!   `max_j req(j)` — *simultaneously for every ε* — so it is feasible
-//!   whenever any order is. `O(n log n)`.
-//! * [`sandholm_order`] — the quadratic step-by-step construction in the
-//!   style of the algorithm the paper cites: build the order from the
-//!   **last** delivery backwards, at each step scanning all remaining
-//!   items for the best placeable one. `O(n²)`, margin-dependent,
-//!   derived independently from the reverse formulation
-//!   `Vs(x) ≤ ε + s(placed-later set)`.
-//! * [`subset_dp_order`] — exact feasibility by dynamic programming over
-//!   item subsets (`O(2ⁿ·n)`), used as ground truth in tests.
+//!   whenever any order is. `O(n log n)`; [`greedy_order_into`] and the
+//!   [`Scheduler`] scratch struct expose the same computation with zero
+//!   per-call allocation, which is what takes it to `n = 10⁶`.
+//! * [`sandholm_order`] — the step-by-step construction in the style of
+//!   the algorithm the paper cites: build the order from the **last**
+//!   delivery backwards, at each step taking the best placeable item.
+//!   Two ordered candidate indexes (minimum-`Vs` positives, then
+//!   maximum-`Vc` negatives) walked behind a budget-threshold cursor
+//!   replace the quadratic per-step scan, giving `O(n log n)` with output
+//!   bit-identical to [`sandholm_order_scan`], the original `O(n²)` scan
+//!   kept as a test oracle.
+//! * [`branch_and_bound_order`] — exact feasibility by depth-first
+//!   search over delivery suffixes with surplus-based pruning, failed-
+//!   state memoisation and a greedy completion bound; the ground truth
+//!   for optimality claims, practical to `n ≈ 30` (and far beyond on
+//!   feasible instances, where the completion bound fires at the root).
+//! * [`subset_dp_order`] — exact feasibility by breadth-first dynamic
+//!   programming over item subsets (`O(2ⁿ·n)` time *and* memory), kept
+//!   as an independent cross-check oracle for small `n`.
 
 use crate::deal::Deal;
-use crate::goods::{Goods, ItemId};
+use crate::goods::{Goods, Item, ItemId};
 use crate::money::Money;
 use crate::policy::PaymentPolicy;
 use crate::safety::SafetyMargins;
 use crate::sequence::{verify, Action, ExchangeSequence, VerifiedSequence};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::HashSet;
 use std::fmt;
 
 /// Which scheduling algorithm to run.
@@ -60,15 +74,25 @@ pub enum Algorithm {
     /// Optimal `O(n log n)` sort (default).
     #[default]
     Greedy,
-    /// Quadratic stepwise construction (paper-style).
+    /// Indexed `O(n log n)` stepwise construction (paper-style; output
+    /// bit-identical to the original quadratic scan).
     Sandholm,
-    /// Exponential subset DP (ground truth; ≤ [`SUBSET_DP_MAX_ITEMS`] items).
+    /// Exponential subset DP (cross-check oracle; ≤
+    /// [`SUBSET_DP_MAX_ITEMS`] items).
     SubsetDp,
+    /// Branch-and-bound exact solver (ground truth; ≤
+    /// [`BRANCH_AND_BOUND_MAX_ITEMS`] items).
+    BranchAndBound,
 }
 
 impl Algorithm {
     /// All algorithms, for cross-validation sweeps.
-    pub const ALL: [Algorithm; 3] = [Algorithm::Greedy, Algorithm::Sandholm, Algorithm::SubsetDp];
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Greedy,
+        Algorithm::Sandholm,
+        Algorithm::SubsetDp,
+        Algorithm::BranchAndBound,
+    ];
 
     /// Stable label for report tables.
     pub fn label(self) -> &'static str {
@@ -76,12 +100,24 @@ impl Algorithm {
             Algorithm::Greedy => "greedy",
             Algorithm::Sandholm => "sandholm",
             Algorithm::SubsetDp => "subset-dp",
+            Algorithm::BranchAndBound => "bnb",
         }
     }
 }
 
 /// Largest item count accepted by [`subset_dp_order`].
 pub const SUBSET_DP_MAX_ITEMS: usize = 24;
+
+/// Largest item count accepted by [`branch_and_bound_order`].
+///
+/// The search is exact, and therefore worst-case exponential in the
+/// number of *negative-surplus* items (rotation dominance makes
+/// non-negative-surplus items forced moves): an adversarial all-negative
+/// instance probed just under its exact boundary really does visit
+/// `~2^n` masks. The cap keeps that accidental worst case in the same
+/// ballpark as the subset DP's instead of unbounded, while still
+/// reaching the `n = 30` the differential suite certifies.
+pub const BRANCH_AND_BOUND_MAX_ITEMS: usize = 30;
 
 /// Error from the schedulers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,8 +131,8 @@ pub enum ScheduleError {
         /// The margin that was available (`ε_s + ε_c`).
         available: Money,
     },
-    /// The subset-DP ground truth refuses instances beyond
-    /// [`SUBSET_DP_MAX_ITEMS`] items.
+    /// The exact solvers refuse instances beyond their caps
+    /// ([`SUBSET_DP_MAX_ITEMS`] / [`BRANCH_AND_BOUND_MAX_ITEMS`]).
     TooManyItems {
         /// Items in the deal.
         n_items: usize,
@@ -116,13 +152,51 @@ impl fmt::Display for ScheduleError {
                 "no feasible exchange sequence: requires total margin {required}, available {available}"
             ),
             ScheduleError::TooManyItems { n_items, limit } => {
-                write!(f, "subset DP limited to {limit} items, got {n_items}")
+                write!(f, "exact solver limited to {limit} items, got {n_items}")
             }
         }
     }
 }
 
 impl std::error::Error for ScheduleError {}
+
+/// The greedy delivery order: non-positive-surplus items first (ascending
+/// `Vc`, ties by id), then positive-surplus items (descending `Vs`, ties
+/// by id).
+fn greedy_cmp(a: &Item, b: &Item) -> Ordering {
+    match (a.surplus().is_positive(), b.surplus().is_positive()) {
+        (false, true) => Ordering::Less,
+        (true, false) => Ordering::Greater,
+        (false, false) => a
+            .consumer_value()
+            .cmp(&b.consumer_value())
+            .then(a.id().cmp(&b.id())),
+        (true, true) => b
+            .supplier_cost()
+            .cmp(&a.supplier_cost())
+            .then(a.id().cmp(&b.id())),
+    }
+}
+
+/// The Sandholm *placement* order (the reverse of the emitted delivery
+/// order): positive-surplus items by ascending `Vs` (they enlarge the
+/// collateral for everything placed earlier), then non-positive-surplus
+/// items by descending `Vc`; ties by id, matching the quadratic scan's
+/// selection rule exactly.
+fn sandholm_placement_cmp(a: &Item, b: &Item) -> Ordering {
+    match (a.surplus().is_positive(), b.surplus().is_positive()) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (true, true) => a
+            .supplier_cost()
+            .cmp(&b.supplier_cost())
+            .then(a.id().cmp(&b.id())),
+        (false, false) => b
+            .consumer_value()
+            .cmp(&a.consumer_value())
+            .then(a.id().cmp(&b.id())),
+    }
+}
 
 /// The greedy delivery order: negative-surplus items first (ascending
 /// `Vc`), then positive-surplus items (descending `Vs`). Ties break by
@@ -131,25 +205,17 @@ impl std::error::Error for ScheduleError {}
 /// This order minimises `max_j req(j)` over all orders (see module docs),
 /// independent of the margins.
 pub fn greedy_order(goods: &Goods) -> Vec<ItemId> {
-    let mut helpers: Vec<ItemId> = Vec::new(); // s(x) ≤ 0
-    let mut burdens: Vec<ItemId> = Vec::new(); // s(x) > 0
-    for item in goods.iter() {
-        if item.surplus().is_positive() {
-            burdens.push(item.id());
-        } else {
-            helpers.push(item.id());
-        }
-    }
-    helpers.sort_by_key(|id| (goods.item(*id).consumer_value(), *id));
-    burdens.sort_by(|a, b| {
-        goods
-            .item(*b)
-            .supplier_cost()
-            .cmp(&goods.item(*a).supplier_cost())
-            .then(a.cmp(b))
-    });
-    helpers.extend(burdens);
-    helpers
+    let mut order = Vec::new();
+    greedy_order_into(goods, &mut order);
+    order
+}
+
+/// [`greedy_order`] into a caller-reusable buffer: a single index-based
+/// unstable sort, no allocation once `out` has warmed to capacity.
+pub fn greedy_order_into(goods: &Goods, out: &mut Vec<ItemId>) {
+    out.clear();
+    out.extend(goods.ids());
+    out.sort_unstable_by(|a, b| greedy_cmp(goods.item(*a), goods.item(*b)));
 }
 
 /// The per-position requirement profile of a delivery order:
@@ -160,30 +226,57 @@ pub fn greedy_order(goods: &Goods) -> Vec<ItemId> {
 /// Panics if `order` is not a permutation of the goods' item ids (checked
 /// via length and per-item lookup).
 pub fn requirement_profile(goods: &Goods, order: &[ItemId]) -> Vec<Money> {
-    assert_eq!(order.len(), goods.len(), "order must cover all items");
-    // Suffix surpluses: suffix[j] = Σ_{i>j} s(x_i).
-    let mut suffix = Money::ZERO;
-    let mut reqs = vec![Money::ZERO; order.len()];
-    for j in (0..order.len()).rev() {
-        let item = goods.item(order[j]);
-        reqs[j] = item.supplier_cost() - suffix;
-        suffix += item.surplus();
-    }
+    let mut reqs = Vec::new();
+    requirement_profile_into(goods, order, &mut reqs);
     reqs
 }
 
+/// [`requirement_profile`] into a caller-reusable buffer: one reverse
+/// suffix-sum pass, no allocation once `out` has warmed to capacity.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the goods' item ids.
+pub fn requirement_profile_into(goods: &Goods, order: &[ItemId], out: &mut Vec<Money>) {
+    assert_eq!(order.len(), goods.len(), "order must cover all items");
+    out.clear();
+    out.resize(order.len(), Money::ZERO);
+    // Suffix surpluses: suffix[j] = Σ_{i>j} s(x_i).
+    let mut suffix = Money::ZERO;
+    for j in (0..order.len()).rev() {
+        let item = goods.item(order[j]);
+        out[j] = item.supplier_cost() - suffix;
+        suffix += item.surplus();
+    }
+}
+
 /// The margin a given delivery order requires:
-/// `max(0, max_j req(j))`.
+/// `max(0, max_j req(j))`, evaluated in one suffix-sum pass without
+/// materialising the profile.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the goods' item ids.
 pub fn required_margin_of_order(goods: &Goods, order: &[ItemId]) -> Money {
-    requirement_profile(goods, order)
-        .into_iter()
-        .fold(Money::ZERO, Money::max)
+    assert_eq!(order.len(), goods.len(), "order must cover all items");
+    let mut suffix = Money::ZERO;
+    let mut worst = Money::ZERO;
+    for &id in order.iter().rev() {
+        let item = goods.item(id);
+        worst = worst.max(item.supplier_cost() - suffix);
+        suffix += item.surplus();
+    }
+    worst
 }
 
 /// The minimal total margin `ε_s + ε_c` for which *any* feasible delivery
 /// order exists — evaluated on the greedy order, which is minimax-optimal.
 ///
 /// A fully safe exchange exists iff this is zero.
+///
+/// One-shot convenience over [`Scheduler::min_required_margin`]; callers
+/// probing many instances (or one instance at many margins) should hold a
+/// [`Scheduler`] to skip the per-call allocation.
 ///
 /// # Examples
 ///
@@ -201,7 +294,7 @@ pub fn required_margin_of_order(goods: &Goods, order: &[ItemId]) -> Money {
 /// # }
 /// ```
 pub fn min_required_margin(goods: &Goods) -> Money {
-    required_margin_of_order(goods, &greedy_order(goods))
+    Scheduler::new().min_required_margin(goods)
 }
 
 /// Whether the goods admit any delivery order under the given margins.
@@ -209,7 +302,111 @@ pub fn feasible(goods: &Goods, margins: SafetyMargins) -> bool {
     min_required_margin(goods) <= margins.total()
 }
 
-/// Paper-style quadratic construction: chooses deliveries from the last
+/// Reusable scratch buffers for the scheduler hot path.
+///
+/// [`min_required_margin`](Scheduler::min_required_margin),
+/// [`feasible`](Scheduler::feasible) and
+/// [`sandholm_order_into`](Scheduler::sandholm_order_into) perform zero
+/// per-call heap allocation once the buffers have warmed to the largest
+/// instance size seen, which is what lets the greedy hot path stream
+/// `n = 10⁶` instances. The struct is cheap to create; hold one per
+/// worker and feed it every instance.
+///
+/// # Examples
+///
+/// ```
+/// use trustex_core::goods::Goods;
+/// use trustex_core::money::Money;
+/// use trustex_core::safety::SafetyMargins;
+/// use trustex_core::scheduler::Scheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sched = Scheduler::new();
+/// let goods = Goods::from_f64_pairs(&[(3.0, 10.0), (2.0, 1.0)])?;
+/// // One derivation answers any number of margin checks.
+/// let req = sched.min_required_margin(&goods);
+/// assert!(!sched.feasible(&goods, SafetyMargins::fully_safe()));
+/// assert!(sched.feasible(&goods, SafetyMargins::new(req, Money::ZERO)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    order: Vec<ItemId>,
+}
+
+impl Scheduler {
+    /// A scheduler with empty scratch buffers.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// [`min_required_margin`] without per-call allocation: derives the
+    /// greedy order into the internal scratch buffer and folds the
+    /// requirement profile in the same pass.
+    pub fn min_required_margin(&mut self, goods: &Goods) -> Money {
+        let mut order = std::mem::take(&mut self.order);
+        greedy_order_into(goods, &mut order);
+        let req = required_margin_of_order(goods, &order);
+        self.order = order;
+        req
+    }
+
+    /// [`feasible`] without per-call allocation. Callers checking one
+    /// instance against a batch of margins should call
+    /// [`min_required_margin`](Scheduler::min_required_margin) once and
+    /// compare totals themselves — the requirement does not depend on the
+    /// margin.
+    pub fn feasible(&mut self, goods: &Goods, margins: SafetyMargins) -> bool {
+        self.min_required_margin(goods) <= margins.total()
+    }
+
+    /// [`sandholm_order`] into a caller-reusable buffer; zero per-call
+    /// allocation on the success path once the buffers have warmed.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Infeasible`] when no order fits the margins; the
+    /// exact `required` margin is derived once, from the scratch buffers.
+    pub fn sandholm_order_into(
+        &mut self,
+        goods: &Goods,
+        margins: SafetyMargins,
+        out: &mut Vec<ItemId>,
+    ) -> Result<(), ScheduleError> {
+        let eps = margins.total();
+        // The quadratic scan provably interleaves nothing: while any
+        // positive-surplus item remains it either places the placeable
+        // positive with minimal (Vs, id) or fails (an unplaceable
+        // minimal-Vs positive means no positive is placeable, and placing
+        // a negative first shrinks the budget and can never help); only
+        // then come negatives by maximal (Vc, −id). So the whole
+        // construction is the placement-order sort walked once behind a
+        // budget cursor. The budget grows monotonically through the
+        // positive phase and shrinks monotonically through the negative
+        // phase, so the first unplaced index is always the scan's pick,
+        // and a blocked head item can never become placeable later —
+        // failure here is exactly the scan's eventual failure.
+        out.clear();
+        out.extend(goods.ids());
+        out.sort_unstable_by(|a, b| sandholm_placement_cmp(goods.item(*a), goods.item(*b)));
+        let mut budget = eps;
+        for &id in out.iter() {
+            let item = goods.item(id);
+            if item.supplier_cost() > budget {
+                return Err(ScheduleError::Infeasible {
+                    required: self.min_required_margin(goods),
+                    available: eps,
+                });
+            }
+            budget += item.surplus();
+        }
+        out.reverse();
+        Ok(())
+    }
+}
+
+/// Paper-style stepwise construction: chooses deliveries from the last
 /// position backwards. An item `x` is *placeable* at the current last
 /// free position when `Vs(x) ≤ ε + s(W)`, `W` being the set already
 /// placed after it. Among placeable items the rule prefers
@@ -217,10 +414,33 @@ pub fn feasible(goods: &Goods, margins: SafetyMargins) -> bool {
 /// for everything placed earlier); once no positive-surplus item remains,
 /// negative-surplus items with maximal `Vc`.
 ///
+/// This is the indexed `O(n log n)` form: two ordered candidate indexes
+/// (minimum-`Vs` positives, maximum-`Vc` negatives) walked once behind a
+/// budget cursor. Output — success order, error, and error payload — is
+/// bit-identical to [`sandholm_order_scan`], the original `O(n²)`
+/// formulation kept as a test oracle.
+///
 /// # Errors
 ///
 /// [`ScheduleError::Infeasible`] when at some step nothing is placeable.
 pub fn sandholm_order(goods: &Goods, margins: SafetyMargins) -> Result<Vec<ItemId>, ScheduleError> {
+    let mut order = Vec::new();
+    Scheduler::new().sandholm_order_into(goods, margins, &mut order)?;
+    Ok(order)
+}
+
+/// The original `O(n²)` per-step scan formulation of [`sandholm_order`],
+/// kept verbatim as the reference oracle the indexed version is pinned
+/// against — the complexity the paper quotes, and the baseline the E2
+/// scaling experiment measures.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when at some step nothing is placeable.
+pub fn sandholm_order_scan(
+    goods: &Goods,
+    margins: SafetyMargins,
+) -> Result<Vec<ItemId>, ScheduleError> {
     let eps = margins.total();
     let mut remaining: Vec<ItemId> = goods.ids().collect();
     let mut placed_surplus = Money::ZERO; // s(W)
@@ -229,7 +449,7 @@ pub fn sandholm_order(goods: &Goods, margins: SafetyMargins) -> Result<Vec<ItemI
     while !remaining.is_empty() {
         let budget = eps + placed_surplus;
         // Scan remaining items for the best placeable candidate: O(n) per
-        // step, O(n²) total — the complexity the paper quotes.
+        // step, O(n²) total.
         let mut best: Option<(usize, ItemId)> = None;
         let mut any_positive_left = false;
         for (pos, &id) in remaining.iter().enumerate() {
@@ -294,7 +514,9 @@ pub fn sandholm_order(goods: &Goods, margins: SafetyMargins) -> Result<Vec<ItemI
 /// State: set `T` of still-undelivered items. `T` is reachable iff the
 /// full set can be reduced to `T` respecting (†) at every step; an item
 /// `x ∈ T` can be delivered from `T` iff `Vs(x) − (s(T) − s(x)) ≤ ε`.
-/// The DP explores reachable states breadth-first.
+/// The DP explores reachable states breadth-first. Superseded as the
+/// primary ground truth by [`branch_and_bound_order`]; kept as an
+/// independent cross-check oracle for small instances.
 ///
 /// # Errors
 ///
@@ -365,6 +587,273 @@ pub fn subset_dp_order(
     Ok(Some(order_rev))
 }
 
+/// Cheap multiplicative hasher for the `u64` state masks of the
+/// branch-and-bound memo — the memo lookup sits on the hottest search
+/// path and needs no DoS resistance.
+#[derive(Default)]
+struct MaskHasher(u64);
+
+impl std::hash::Hasher for MaskHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type MaskSet = HashSet<u64, std::hash::BuildHasherDefault<MaskHasher>>;
+
+/// Depth-first branch-and-bound search state for
+/// [`branch_and_bound_order`].
+struct BnbSearch<'a> {
+    ids: &'a [ItemId],
+    cost: &'a [Money],
+    surplus: &'a [Money],
+    /// Indexes of items with `s ≥ 0`, sorted by ascending `(Vs, id)` —
+    /// the forced-move queue.
+    gainers: &'a [usize],
+    /// Indexes of items with `s < 0`, sorted by descending `(Vc, −id)` —
+    /// the branch heuristic (try big-value items last-in-delivery first).
+    drainers: &'a [usize],
+    /// All indexes in global greedy delivery order. The greedy order of
+    /// *any* subset is a subsequence of this, so the completion bound is
+    /// a sortless masked pass.
+    greedy_idx: &'a [usize],
+    eps: Money,
+    total_surplus: Money,
+    /// Masks proven to admit no completion (the budget is a function of
+    /// the mask alone, so failure memoisation is sound).
+    failed: MaskSet,
+    /// Items placed so far, backwards: `chosen[0]` is the last delivery.
+    chosen: Vec<usize>,
+    /// Greedy completion (in delivery order) recorded on early success.
+    completion: Vec<ItemId>,
+}
+
+impl BnbSearch<'_> {
+    /// Can `remaining` be fully placed, given that everything outside it
+    /// is already placed at later positions? `rem_surplus = s(remaining)`
+    /// and `pos_surplus = Σ_{x ∈ remaining} max(s(x), 0)` are threaded to
+    /// keep each node O(k) before branching.
+    fn solve(&mut self, remaining: u64, rem_surplus: Money, pos_surplus: Money) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        if self.failed.contains(&remaining) {
+            return false;
+        }
+        // Budget for the current last free position: ε + s(placed).
+        let budget = self.eps + (self.total_surplus - rem_surplus);
+
+        // Dominance (rotation lemma): if a placeable item `a` with
+        // s(a) ≥ 0 exists and *any* completion σ of this state exists,
+        // then moving `a` to the front of σ is also a completion — `a`'s
+        // own constraint is exactly placeability, and every other item's
+        // collateral either keeps its placed-after set or gains `a`
+        // (+s(a) ≥ 0). So such an item can be placed as a forced move,
+        // no branching. The cheapest-to-place candidate is the minimal-
+        // (Vs, id) remaining gainer: if even it is blocked, none is —
+        // and if gainers remain while only budget-shrinking drainers are
+        // placeable, no gainer can ever become placeable again, so the
+        // state is dead. (An exchange argument, not an appeal to greedy
+        // optimality: the oracle stays independent of the code under
+        // differential test.)
+        let mut gainers_left = false;
+        for &i in self.gainers {
+            if remaining & (1u64 << i) == 0 {
+                continue;
+            }
+            gainers_left = true;
+            if self.cost[i] <= budget {
+                self.chosen.push(i);
+                if self.solve(
+                    remaining & !(1u64 << i),
+                    rem_surplus - self.surplus[i],
+                    pos_surplus - self.surplus[i],
+                ) {
+                    return true;
+                }
+                self.chosen.pop();
+            }
+            break; // minimal-(Vs, id) gainer blocked or subtree failed
+        }
+        if gainers_left {
+            self.failed.insert(remaining);
+            return false;
+        }
+
+        // Drainers only from here (pos_surplus == 0): the budget can only
+        // shrink. Surplus-based pruning: wherever item x ends up, the
+        // items delivered after it contribute at most the positive
+        // surpluses of the other remaining items (none, here) on top of
+        // s(placed) — any remaining item priced above that ceiling kills
+        // the state. Sound and independent of greedy optimality.
+        let mut bits = remaining;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let own_pos = self.surplus[i].max(Money::ZERO);
+            if self.cost[i] > budget + (pos_surplus - own_pos) {
+                self.failed.insert(remaining);
+                return false;
+            }
+        }
+
+        // Greedy completion bound: if the greedy order of `remaining`
+        // fits the budget, that concrete order *is* a valid completion —
+        // no optimality assumption, the profile check verifies it
+        // outright. On feasible instances this fires at the root.
+        if self.greedy_completion_fits(remaining, budget) {
+            return true;
+        }
+
+        for &i in self.drainers {
+            let bit = 1u64 << i;
+            if remaining & bit == 0 || self.cost[i] > budget {
+                continue;
+            }
+            self.chosen.push(i);
+            if self.solve(remaining & !bit, rem_surplus - self.surplus[i], pos_surplus) {
+                return true;
+            }
+            self.chosen.pop();
+        }
+        self.failed.insert(remaining);
+        false
+    }
+
+    /// Checks whether the greedy order of `remaining` keeps every
+    /// position's requirement within `budget`; records it as the
+    /// completion when it does.
+    fn greedy_completion_fits(&mut self, remaining: u64, budget: Money) -> bool {
+        let mut suffix = Money::ZERO;
+        let mut worst = Money::MIN;
+        for &i in self.greedy_idx.iter().rev() {
+            if remaining & (1u64 << i) == 0 {
+                continue;
+            }
+            worst = worst.max(self.cost[i] - suffix);
+            suffix += self.surplus[i];
+        }
+        if worst <= budget {
+            self.completion.clear();
+            self.completion.extend(
+                self.greedy_idx
+                    .iter()
+                    .filter(|&&i| remaining & (1u64 << i) != 0)
+                    .map(|&i| self.ids[i]),
+            );
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Exact feasibility by branch-and-bound, returning a feasible delivery
+/// order if one exists (`Ok(None)` when infeasible).
+///
+/// The search mirrors the stepwise construction: it assigns deliveries
+/// from the **last** position backwards (so each node's constraint is
+/// just `Vs(x) ≤ ε + s(placed)`). Four devices make it exact *and* fast:
+///
+/// * **rotation dominance** — a placeable item with non-negative surplus
+///   can always be moved to the front of any completion (every other
+///   item's collateral only gains), so such items are forced moves and
+///   branching happens only among the budget-shrinking negative-surplus
+///   items — `2^#negatives` worst-case states instead of `2^n`;
+/// * **surplus-based pruning** — a node is cut when some remaining item
+///   could not satisfy (†) even if every other remaining item with
+///   positive surplus were delivered after it;
+/// * **greedy completion bound** — when the greedy order of the
+///   remaining set fits the node's budget, that order is spliced in as
+///   the completion (its requirement profile is checked directly, so no
+///   optimality assumption leaks into the oracle); on feasible instances
+///   this fires at the root;
+/// * **failed-state memoisation** — a mask's budget is a function of the
+///   mask, so a subtree that failed once can never succeed; the search
+///   therefore visits at most the subset-DP state count, and in practice
+///   orders of magnitude fewer.
+///
+/// Infeasibility verdicts rest on exchange arguments and exhaustive
+/// search, never on the greedy comparator under differential test, which
+/// is what lets the suite use this oracle to *prove* the paper's claim
+/// that the greedy margin is the exact minimum at sizes the subset DP
+/// cannot reach (`n ≈ 30` against the DP's hard cap of
+/// [`SUBSET_DP_MAX_ITEMS`]).
+///
+/// # Errors
+///
+/// [`ScheduleError::TooManyItems`] beyond
+/// [`BRANCH_AND_BOUND_MAX_ITEMS`] items.
+pub fn branch_and_bound_order(
+    goods: &Goods,
+    margins: SafetyMargins,
+) -> Result<Option<Vec<ItemId>>, ScheduleError> {
+    let n = goods.len();
+    if n > BRANCH_AND_BOUND_MAX_ITEMS {
+        return Err(ScheduleError::TooManyItems {
+            n_items: n,
+            limit: BRANCH_AND_BOUND_MAX_ITEMS,
+        });
+    }
+    let ids: Vec<ItemId> = goods.ids().collect();
+    let cost: Vec<Money> = ids
+        .iter()
+        .map(|id| goods.item(*id).supplier_cost())
+        .collect();
+    let surplus: Vec<Money> = ids.iter().map(|id| goods.item(*id).surplus()).collect();
+    let mut gainers: Vec<usize> = (0..n).filter(|&i| !surplus[i].is_negative()).collect();
+    gainers.sort_unstable_by_key(|&i| (cost[i], ids[i]));
+    let mut drainers: Vec<usize> = (0..n).filter(|&i| surplus[i].is_negative()).collect();
+    drainers.sort_unstable_by(|&a, &b| {
+        goods
+            .item(ids[b])
+            .consumer_value()
+            .cmp(&goods.item(ids[a]).consumer_value())
+            .then(ids[a].cmp(&ids[b]))
+    });
+    let mut greedy_idx: Vec<usize> = (0..n).collect();
+    greedy_idx.sort_unstable_by(|&a, &b| greedy_cmp(goods.item(ids[a]), goods.item(ids[b])));
+
+    let total_surplus: Money = surplus.iter().copied().sum();
+    let pos_surplus: Money = surplus.iter().copied().filter(|s| s.is_positive()).sum();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+
+    let mut search = BnbSearch {
+        ids: &ids,
+        cost: &cost,
+        surplus: &surplus,
+        gainers: &gainers,
+        drainers: &drainers,
+        greedy_idx: &greedy_idx,
+        eps: margins.total(),
+        total_surplus,
+        failed: MaskSet::default(),
+        chosen: Vec::with_capacity(n),
+        completion: Vec::new(),
+    };
+    if !search.solve(full, total_surplus, pos_surplus) {
+        return Ok(None);
+    }
+    // Delivery order: the greedy completion covers the earliest
+    // positions, then the chosen stack unwinds backwards.
+    let mut order = search.completion;
+    order.extend(search.chosen.iter().rev().map(|&i| ids[i]));
+    debug_assert_eq!(order.len(), n);
+    Ok(Some(order))
+}
+
 /// Interleaves payments into a delivery order according to `policy`,
 /// producing a complete exchange sequence.
 ///
@@ -424,8 +913,8 @@ pub fn interleave_payments(
 /// # Errors
 ///
 /// [`ScheduleError::Infeasible`] when the margins are too tight, or
-/// [`ScheduleError::TooManyItems`] for [`Algorithm::SubsetDp`] on large
-/// deals.
+/// [`ScheduleError::TooManyItems`] for [`Algorithm::SubsetDp`] /
+/// [`Algorithm::BranchAndBound`] on large deals.
 ///
 /// # Panics
 ///
@@ -476,6 +965,15 @@ pub fn schedule(
         }
         Algorithm::Sandholm => sandholm_order(goods, margins)?,
         Algorithm::SubsetDp => match subset_dp_order(goods, margins)? {
+            Some(order) => order,
+            None => {
+                return Err(ScheduleError::Infeasible {
+                    required: min_required_margin(goods),
+                    available: margins.total(),
+                });
+            }
+        },
+        Algorithm::BranchAndBound => match branch_and_bound_order(goods, margins)? {
             Some(order) => order,
             None => {
                 return Err(ScheduleError::Infeasible {
@@ -569,6 +1067,17 @@ mod tests {
     }
 
     #[test]
+    fn greedy_order_into_reuses_buffer() {
+        let g1 = goods(&[(5.0, 1.0), (1.0, 8.0)]);
+        let g2 = goods(&[(2.0, 5.0), (1.0, 4.0), (3.0, 3.0)]);
+        let mut buf = Vec::new();
+        greedy_order_into(&g1, &mut buf);
+        assert_eq!(buf, greedy_order(&g1));
+        greedy_order_into(&g2, &mut buf);
+        assert_eq!(buf, greedy_order(&g2));
+    }
+
+    #[test]
     fn requirement_profile_matches_manual() {
         // Two items: a (Vs=2, Vc=5, s=3), b (Vs=1, Vc=4, s=3).
         // Order [a, b]: req(a) = 2 - s(b) = -1 ; req(b) = 1 - 0 = 1.
@@ -579,7 +1088,23 @@ mod tests {
         assert_eq!(required_margin_of_order(&g, &ids), Money::from_units(1));
     }
 
-    // --- cross-validation of the three algorithms -----------------------
+    #[test]
+    fn scheduler_scratch_matches_free_functions() {
+        let mut sched = Scheduler::new();
+        let gs = [
+            goods(&[(3.0, 10.0)]),
+            goods(&[(2.0, 6.0), (5.0, 6.0)]),
+            goods(&[(0.0, 5.0), (2.0, 4.0), (7.0, 1.0)]),
+        ];
+        for g in &gs {
+            assert_eq!(sched.min_required_margin(g), min_required_margin(g));
+            for eps in [0.0, 1.5, 4.0] {
+                assert_eq!(sched.feasible(g, margins(eps)), feasible(g, margins(eps)));
+            }
+        }
+    }
+
+    // --- cross-validation of the algorithms -----------------------------
 
     #[test]
     fn all_algorithms_agree_on_feasibility_small() {
@@ -600,10 +1125,36 @@ mod tests {
                 let greedy_ok = feasible(&g, m);
                 let sandholm_ok = sandholm_order(&g, m).is_ok();
                 let dp_ok = subset_dp_order(&g, m).unwrap().is_some();
+                let bnb_ok = branch_and_bound_order(&g, m).unwrap().is_some();
                 assert_eq!(greedy_ok, dp_ok, "greedy vs dp: {pairs:?} eps={eps_units}");
                 assert_eq!(
                     sandholm_ok, dp_ok,
                     "sandholm vs dp: {pairs:?} eps={eps_units}"
+                );
+                assert_eq!(bnb_ok, dp_ok, "bnb vs dp: {pairs:?} eps={eps_units}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_sandholm_matches_scan_exactly() {
+        let mut x = 7u64;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..80 {
+            let n = 1 + (trial % 8);
+            let pairs: Vec<(f64, f64)> = (0..n).map(|_| (next() * 8.0, next() * 8.0)).collect();
+            let g = goods(&pairs);
+            for eps_units in [0.0, 0.5, 1.5, 4.0, 10.0] {
+                let m = margins(eps_units);
+                assert_eq!(
+                    sandholm_order(&g, m),
+                    sandholm_order_scan(&g, m),
+                    "{pairs:?} eps={eps_units}"
                 );
             }
         }
@@ -675,6 +1226,45 @@ mod tests {
             err,
             ScheduleError::TooManyItems { n_items: 25, .. }
         ));
+        assert!(err.to_string().contains("24 items"));
+    }
+
+    #[test]
+    fn branch_and_bound_rejects_beyond_cap() {
+        let over = BRANCH_AND_BOUND_MAX_ITEMS + 1;
+        let pairs: Vec<(f64, f64)> = (0..over).map(|i| (1.0, 2.0 + i as f64)).collect();
+        let g = goods(&pairs);
+        let err = branch_and_bound_order(&g, margins(1000.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::TooManyItems {
+                n_items: over,
+                limit: BRANCH_AND_BOUND_MAX_ITEMS
+            }
+        );
+        // At the cap itself a wide margin solves instantly via the
+        // greedy completion bound at the root.
+        let pairs: Vec<(f64, f64)> = (0..BRANCH_AND_BOUND_MAX_ITEMS)
+            .map(|i| (1.0, 2.0 + i as f64))
+            .collect();
+        let g = goods(&pairs);
+        let order = branch_and_bound_order(&g, margins(1000.0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(order.len(), BRANCH_AND_BOUND_MAX_ITEMS);
+    }
+
+    #[test]
+    fn branch_and_bound_order_respects_margin() {
+        let g = goods(&[(2.0, 6.0), (5.0, 6.0), (3.0, 1.0)]);
+        let req = min_required_margin(&g);
+        let m = SafetyMargins::new(req, Money::ZERO).unwrap();
+        let order = branch_and_bound_order(&g, m).unwrap().expect("feasible");
+        assert!(required_margin_of_order(&g, &order) <= req);
+        if req > Money::ZERO {
+            let below = SafetyMargins::new(req - Money::from_micros(1), Money::ZERO).unwrap();
+            assert!(branch_and_bound_order(&g, below).unwrap().is_none());
+        }
     }
 
     #[test]
@@ -722,9 +1312,10 @@ mod tests {
     fn algorithm_labels() {
         assert_eq!(Algorithm::Greedy.label(), "greedy");
         assert_eq!(Algorithm::default(), Algorithm::Greedy);
-        assert_eq!(Algorithm::ALL.len(), 3);
+        assert_eq!(Algorithm::ALL.len(), 4);
         assert_eq!(Algorithm::Sandholm.label(), "sandholm");
         assert_eq!(Algorithm::SubsetDp.label(), "subset-dp");
+        assert_eq!(Algorithm::BranchAndBound.label(), "bnb");
     }
 
     #[test]
