@@ -5,7 +5,7 @@ use std::hint::black_box;
 use trustex_trust::baselines::{EwmaTrust, MeanTrust};
 use trustex_trust::beta::BetaTrust;
 use trustex_trust::complaints::ComplaintTrust;
-use trustex_trust::model::{Conduct, PeerId, TrustModel};
+use trustex_trust::model::{Conduct, PeerId, TrustEstimate, TrustModel};
 
 fn loaded<M: TrustModel>(mut model: M) -> M {
     for subject in 0..100u32 {
@@ -65,5 +65,32 @@ fn bench_predict(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_record, bench_predict);
+/// The batched row sweep the accuracy metrics run on: one
+/// `predict_row_into` call versus 100 point predicts (the complaint
+/// model's median amortization shows up here most starkly — the old
+/// sort-per-predict paid n log n per cell).
+fn bench_predict_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/predict_row_into");
+    let beta = loaded(BetaTrust::with_population(100));
+    let complaints = loaded(ComplaintTrust::with_population(100));
+    let mean = loaded(MeanTrust::with_population(100));
+    let ewma = loaded(EwmaTrust::with_population(0.2, 100));
+    for (label, model) in [
+        ("beta", &beta as &dyn TrustModel),
+        ("complaints", &complaints),
+        ("mean", &mean),
+        ("ewma", &ewma),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, model| {
+            let mut row = vec![TrustEstimate::UNKNOWN; 100];
+            b.iter(|| {
+                model.predict_row_into(&mut row);
+                black_box(row.last());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_predict, bench_predict_row);
 criterion_main!(benches);

@@ -4,8 +4,14 @@
 //! cargo run --release -p trustex-bench --bin repro            # all, paper scale
 //! cargo run --release -p trustex-bench --bin repro -- --smoke # all, smoke scale
 //! cargo run --release -p trustex-bench --bin repro -- e4 e6   # a subset
+//! cargo run --release -p trustex-bench --bin repro -- --only e5,e8,e9
 //! cargo run --release -p trustex-bench --bin repro -- --threads 8
 //! ```
+//!
+//! `--only ID[,ID...]` selects a comma-separated subset in one flag —
+//! the form perf iteration on a hot path wants (e.g. `--only e5,e8,e9`
+//! skips the ~14 s e6 entirely); it composes with positional ids and
+//! rejects unknown or empty ids with exit code 2 before any work runs.
 //!
 //! `--threads N` pins the worker-pool size used by the arm-parallel
 //! experiment runner and the sharded market simulator (default: detected
@@ -35,7 +41,9 @@ struct Args {
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("usage: repro [--smoke] [--threads N] [--bench-out PATH] [id...]");
+    eprintln!(
+        "usage: repro [--smoke] [--threads N] [--bench-out PATH] [--only ID[,ID...]] [id...]"
+    );
     eprintln!(
         "known ids: {}",
         ALL.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
@@ -68,6 +76,22 @@ fn parse_args(raw: Vec<String>) -> Args {
                     .next()
                     .unwrap_or_else(|| usage_exit("--bench-out requires a path"));
             }
+            "--only" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--only requires a comma-separated id list"));
+                let before = args.ids.len();
+                for id in value.split(',') {
+                    let id = id.trim();
+                    if id.is_empty() {
+                        usage_exit(&format!("--only has an empty experiment id: {value:?}"));
+                    }
+                    args.ids.push(id.to_owned());
+                }
+                if args.ids.len() == before {
+                    usage_exit("--only requires at least one experiment id");
+                }
+            }
             other if other.starts_with("--") => {
                 usage_exit(&format!("unknown flag: {other}"));
             }
@@ -91,9 +115,17 @@ fn main() {
     let selected: Vec<_> = if args.ids.is_empty() {
         ALL.iter().collect()
     } else {
+        // Duplicates (positional or via --only) would run an experiment
+        // twice and emit duplicate keys in the timings JSON — reject
+        // them up front like unknown ids.
+        let mut seen: Vec<&str> = Vec::with_capacity(args.ids.len());
         args.ids
             .iter()
             .map(|id| {
+                if seen.contains(&id.as_str()) {
+                    usage_exit(&format!("duplicate experiment id: {id}"));
+                }
+                seen.push(id);
                 find(id).unwrap_or_else(|| usage_exit(&format!("unknown experiment id: {id}")))
             })
             .collect()

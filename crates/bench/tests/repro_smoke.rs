@@ -118,6 +118,73 @@ fn repro_binary_bench_out_subset() {
     );
 }
 
+/// `--only` runs exactly the comma-separated subset — the targeted form
+/// perf iteration uses (`--only e5,e8,e9` skips the expensive e6) — and
+/// composes with `--bench-out`.
+#[test]
+fn repro_binary_only_runs_exactly_the_listed_subset() {
+    let scratch = ScratchDir::new("only");
+    let out_path = scratch.0.join("timings.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--smoke", "--only", "e5,e9", "--bench-out"])
+        .arg(&out_path)
+        .current_dir(&scratch.0)
+        .output()
+        .expect("failed to spawn repro binary");
+    assert!(
+        output.status.success(),
+        "repro --only exited with {:?}\nstderr: {}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let json = std::fs::read_to_string(&out_path).expect("bench-out written");
+    for ran in ["e5", "e9"] {
+        assert!(stdout.contains(&format!("[{ran}]")), "{ran} missing");
+        assert!(json.contains(&format!("\"{ran}\": ")), "{ran} not timed");
+    }
+    for skipped in ["e0", "e6", "e8"] {
+        assert!(
+            !stdout.contains(&format!("[{skipped}]")),
+            "{skipped} ran despite --only"
+        );
+        assert!(!json.contains(&format!("\"{skipped}\"")));
+    }
+}
+
+/// Unknown, empty or missing `--only` ids are rejected with exit code 2
+/// before any experiment runs.
+#[test]
+fn repro_binary_only_rejects_bad_id_lists() {
+    let scratch = ScratchDir::new("only_bad");
+    for (args, needle) in [
+        (&["--only", "e5,e99"][..], "unknown experiment id"),
+        (&["--only", "e5,,e9"][..], "empty experiment id"),
+        (&["--only", ""][..], "empty experiment id"),
+        (&["--only"][..], "--only requires"),
+        // Duplicates would run an experiment twice and write duplicate
+        // keys into the timings JSON.
+        (&["--only", "e5,e5"][..], "duplicate experiment id"),
+        (&["e5", "--only", "e5"][..], "duplicate experiment id"),
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .current_dir(&scratch.0)
+            .output()
+            .expect("failed to spawn repro binary");
+        assert_eq!(output.status.code(), Some(2), "args: {args:?}");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(needle),
+            "args {args:?}: stderr missing {needle:?}:\n{stderr}"
+        );
+        assert!(
+            output.stdout.is_empty(),
+            "args {args:?}: work ran before the rejection"
+        );
+    }
+}
+
 /// Unknown experiment ids are rejected with exit code 2.
 #[test]
 fn repro_binary_rejects_unknown_id() {

@@ -142,8 +142,9 @@ pub fn e0_pipeline(scale: Scale) -> Table {
         }
         // Update the population median product from this phase's queries.
         if !products_seen.is_empty() {
-            products_seen.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            median_product = products_seen[products_seen.len() / 2];
+            let mid = products_seen.len() / 2;
+            let (_, median, _) = products_seen.select_nth_unstable_by(mid, f64::total_cmp);
+            median_product = *median;
         }
         let msgs = reputation.network().total_sent() - msgs_before;
         table.push_row(vec![

@@ -36,7 +36,8 @@ pub mod workload;
 pub mod prelude {
     pub use crate::experiments::{find as find_experiment, Experiment, Scale, ALL as EXPERIMENTS};
     pub use crate::metrics::{
-        cooperation_truth, decision_accuracy, rank_accuracy, trust_mae, trust_mae_with_truth,
+        accuracy_metrics, cooperation_truth, decision_accuracy, rank_accuracy, trust_mae,
+        trust_mae_with_truth, AccuracyMetrics,
     };
     pub use crate::population::{AnyModel, Community, ModelKind};
     pub use crate::sim::{MarketConfig, MarketReport, MarketSim, RoundStats};

@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use trustex_agents::profile::{AgentProfile, PopulationMix};
+use trustex_netsim::hash::FxBuildHasher;
 use trustex_netsim::rng::SimRng;
 use trustex_trust::baselines::{EwmaTrust, MeanTrust};
 use trustex_trust::beta::BetaTrust;
@@ -46,12 +47,16 @@ impl ModelKind {
         }
     }
 
-    fn build(self) -> AnyModel {
+    /// Builds a model pre-sized for a community of `n` peers: every
+    /// model's dense evidence tables are allocated once up front (and
+    /// the complaint model learns the population for its median), so
+    /// the simulation's record/predict hot paths never grow storage.
+    fn build(self, n: usize) -> AnyModel {
         match self {
-            ModelKind::Beta => AnyModel::Beta(BetaTrust::new()),
-            ModelKind::Complaints => AnyModel::Complaints(ComplaintTrust::new()),
-            ModelKind::Mean => AnyModel::Mean(MeanTrust::new()),
-            ModelKind::Ewma => AnyModel::Ewma(EwmaTrust::default()),
+            ModelKind::Beta => AnyModel::Beta(BetaTrust::with_population(n)),
+            ModelKind::Complaints => AnyModel::Complaints(ComplaintTrust::with_population(n)),
+            ModelKind::Mean => AnyModel::Mean(MeanTrust::with_population(n)),
+            ModelKind::Ewma => AnyModel::Ewma(EwmaTrust::with_population(0.2, n)),
         }
     }
 }
@@ -97,6 +102,17 @@ impl TrustModel for AnyModel {
         }
     }
 
+    fn predict_row_into(&self, out: &mut [TrustEstimate]) {
+        // One dispatch per row (not per cell) into the models' dense
+        // table sweeps.
+        match self {
+            AnyModel::Beta(m) => m.predict_row_into(out),
+            AnyModel::Complaints(m) => m.predict_row_into(out),
+            AnyModel::Mean(m) => m.predict_row_into(out),
+            AnyModel::Ewma(m) => m.predict_row_into(out),
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self {
             AnyModel::Beta(m) => m.name(),
@@ -123,7 +139,11 @@ pub struct Community {
     models: Vec<AnyModel>,
     /// Witness reports awaiting corroboration:
     /// `(evaluator, subject) → [(witness, claimed conduct)]`.
-    pending: HashMap<(PeerId, PeerId), Vec<(PeerId, Conduct)>>,
+    ///
+    /// Point lookups only (insert on delivery, remove on corroboration,
+    /// order-insensitive count) — safe for the fast non-SipHash hasher,
+    /// which takes this ride-along off the record hot path's profile.
+    pending: HashMap<(PeerId, PeerId), Vec<(PeerId, Conduct)>, FxBuildHasher>,
 }
 
 impl Community {
@@ -131,19 +151,11 @@ impl Community {
     /// trust models.
     pub fn new(n: usize, mix: &PopulationMix, kind: ModelKind, rng: &mut SimRng) -> Community {
         let profiles = mix.sample(n, rng);
-        let models = (0..n)
-            .map(|_| {
-                let mut model = kind.build();
-                if let AnyModel::Complaints(m) = &mut model {
-                    m.set_population(n);
-                }
-                model
-            })
-            .collect();
+        let models = (0..n).map(|_| kind.build(n)).collect();
         Community {
             profiles,
             models,
-            pending: HashMap::new(),
+            pending: HashMap::default(),
         }
     }
 
@@ -174,6 +186,18 @@ impl Community {
     /// `evaluator`'s trust estimate of `subject`.
     pub fn predict(&self, evaluator: PeerId, subject: PeerId) -> TrustEstimate {
         self.models[evaluator.index()].predict(subject)
+    }
+
+    /// Fills `out[i]` with `evaluator`'s estimate of subject `PeerId(i)`
+    /// in one dense-table sweep — bit-identical to calling
+    /// [`Community::predict`] per subject, and the read path the batched
+    /// accuracy metrics are built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluator` is out of range.
+    pub fn predict_row_into(&self, evaluator: PeerId, out: &mut [TrustEstimate]) {
+        self.models[evaluator.index()].predict_row_into(out);
     }
 
     /// Ground truth cooperation probability of an agent.

@@ -26,7 +26,7 @@
 //! [`MarketReport`]: `threads ∈ {1, 2, 8}` produce identical output for
 //! the same seed (enforced by the cross-thread determinism tests).
 
-use crate::metrics::{cooperation_truth, decision_accuracy, rank_accuracy, trust_mae_with_truth};
+use crate::metrics::{accuracy_metrics, cooperation_truth, trust_mae_with_truth_threads};
 use crate::population::{Community, ModelKind};
 use crate::strategy::{plan, Strategy};
 use crate::workload::Workload;
@@ -210,7 +210,18 @@ pub struct MarketSim {
 
 impl MarketSim {
     /// Builds the simulation (samples the population).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_agents < 2`: every session needs two distinct
+    /// parties, and the distinct-consumer rejection loop in the session
+    /// draw would otherwise never terminate.
     pub fn new(cfg: MarketConfig) -> MarketSim {
+        assert!(
+            cfg.n_agents >= 2,
+            "MarketConfig::n_agents must be ≥ 2 (a session needs two distinct parties), got {}",
+            cfg.n_agents
+        );
         let mut rng = SimRng::new(cfg.seed);
         let community = Community::new(cfg.n_agents, &cfg.mix, cfg.model, &mut rng);
         let truth = cooperation_truth(&community);
@@ -261,9 +272,12 @@ impl MarketSim {
         // self; fold them here.
         report.honest_gain = self.honest_gain;
         report.dishonest_gain = self.dishonest_gain;
-        report.final_mae = trust_mae_with_truth(&self.community, &self.truth);
-        report.final_rank_accuracy = rank_accuracy(&self.community);
-        report.final_decision_accuracy = decision_accuracy(&self.community);
+        // One batched row pass yields all three final metrics; each
+        // (evaluator, subject) pair is predicted exactly once.
+        let accuracy = accuracy_metrics(&self.community, &self.truth, threads);
+        report.final_mae = accuracy.mae;
+        report.final_rank_accuracy = accuracy.rank_accuracy;
+        report.final_decision_accuracy = accuracy.decision_accuracy;
         report.per_round = per_round;
         report
     }
@@ -460,7 +474,11 @@ impl MarketSim {
             }
         }
         if self.cfg.track_trust_per_round {
-            stats.trust_mae = Some(trust_mae_with_truth(&self.community, &self.truth));
+            stats.trust_mae = Some(trust_mae_with_truth_threads(
+                &self.community,
+                &self.truth,
+                threads,
+            ));
         }
         stats
     }
@@ -553,6 +571,27 @@ mod tests {
             workload: Workload::FileSharing,
             ..MarketConfig::default()
         }
+    }
+
+    /// The distinct-consumer rejection loop in `draw_sessions` can only
+    /// terminate with at least two agents; the constructor must reject
+    /// degenerate communities up front instead of hanging.
+    #[test]
+    #[should_panic(expected = "n_agents must be ≥ 2")]
+    fn single_agent_community_rejected() {
+        MarketSim::new(MarketConfig {
+            n_agents: 1,
+            ..MarketConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "n_agents must be ≥ 2")]
+    fn empty_community_rejected() {
+        MarketSim::new(MarketConfig {
+            n_agents: 0,
+            ..MarketConfig::default()
+        });
     }
 
     #[test]

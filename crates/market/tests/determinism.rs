@@ -10,6 +10,7 @@ use proptest::{prop_assert_eq, proptest, ProptestConfig};
 use std::sync::Mutex;
 use trustex_agents::profile::PopulationMix;
 use trustex_market::experiments::{find, Scale, ALL};
+use trustex_market::metrics::{accuracy_metrics, cooperation_truth};
 use trustex_market::prelude::*;
 use trustex_netsim::pool::set_default_threads;
 
@@ -105,6 +106,51 @@ fn e6_pgrid_table_identical_across_thread_counts() {
         );
     }
     set_default_threads(0);
+}
+
+/// The batched accuracy metrics fan evaluator rows across the worker
+/// pool; the fold is pinned to evaluator order, so every metric —
+/// including the float MAE — must be bit-identical for threads ∈
+/// {1, 2, 8}, on both a freshly built community and one shaped by a full
+/// simulation run, for every model kind.
+#[test]
+fn batched_metrics_identical_across_thread_counts() {
+    for model in ModelKind::ALL {
+        let sim = MarketSim::new(MarketConfig {
+            model,
+            ..cfg(1, 0xACC)
+        });
+        let community = sim.community();
+        let truth = cooperation_truth(community);
+        let reference = accuracy_metrics(community, &truth, 1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                accuracy_metrics(community, &truth, threads),
+                reference,
+                "{model:?} metrics diverged at threads={threads}"
+            );
+        }
+        // A simulated run leaves heterogeneous evidence tables (gossip,
+        // slander, cold rows) — the harder case for row batching.
+        let report = MarketSim::new(MarketConfig {
+            model,
+            track_trust_per_round: true,
+            ..cfg(1, 0xACC)
+        })
+        .run();
+        for threads in [2usize, 8] {
+            let again = MarketSim::new(MarketConfig {
+                model,
+                track_trust_per_round: true,
+                ..cfg(threads, 0xACC)
+            })
+            .run();
+            assert_eq!(
+                again, report,
+                "{model:?} report diverged at threads={threads}"
+            );
+        }
+    }
 }
 
 proptest! {

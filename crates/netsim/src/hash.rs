@@ -1,0 +1,119 @@
+//! A fast, non-cryptographic hasher for simulation-internal maps.
+//!
+//! The standard library's default `SipHash13` is DoS-resistant but costs
+//! tens of cycles per small key — measurable when a map ride-along on a
+//! per-session hot path (e.g. the market community's pending
+//! witness-corroboration index) is probed millions of times per run.
+//! [`FxHasher`] is the word-at-a-time multiply-xor scheme used by the
+//! Rust compiler itself (`rustc-hash`): a few cycles per word, perfectly
+//! adequate for trusted internal keys such as dense peer-id pairs.
+//!
+//! Hash-*order* must never leak into results: maps keyed by this hasher
+//! may only be used for point lookups and order-insensitive folds, never
+//! iterated into output (the same rule the determinism suites already
+//! enforce for the default hasher).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The multiplicative word hasher: `state = (rotl5(state) ^ word) · K`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// 2⁶⁴ / φ rounded to odd — the classic Fibonacci-hashing multiplier.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Mix the length in so "ab" | "" and "a" | "b" differ.
+            self.add_word(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of((1u32, 2u32)), hash_of((1u32, 2u32)));
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+        assert_ne!(hash_of(0u64), hash_of(1u64));
+    }
+
+    #[test]
+    fn byte_streams_with_different_splits_differ() {
+        assert_ne!(hash_of(("ab", "")), hash_of(("a", "b")));
+        assert_ne!(hash_of([0u8; 3].as_slice()), hash_of([0u8; 4].as_slice()));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut map: HashMap<(u32, u32), u64, FxBuildHasher> = HashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i + 1), i as u64);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&(41, 42)), Some(&41));
+        assert_eq!(map.get(&(42, 41)), None);
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod churn;
 pub mod event;
+pub mod hash;
 pub mod net;
 pub mod pool;
 pub mod rng;

@@ -7,15 +7,17 @@
 
 use crate::confidence::evidence_confidence;
 use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+use crate::table::dense_slot;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Arithmetic-mean trust: `p = honest / total`, 0.5 when unseen.
 /// Witness reports count exactly like direct experience (no
 /// discounting) — deliberately gullible.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MeanTrust {
-    counts: HashMap<PeerId, (u64, u64)>, // (honest, total)
+    /// Dense `(honest, total)` counts indexed by [`PeerId::index`];
+    /// `total == 0` marks a never-observed subject.
+    counts: Vec<(u64, u64)>,
 }
 
 impl MeanTrust {
@@ -24,17 +26,38 @@ impl MeanTrust {
         MeanTrust::default()
     }
 
+    /// Creates a model pre-sized for a community of `n` peers.
+    pub fn with_population(n: usize) -> MeanTrust {
+        let mut model = MeanTrust::new();
+        model.ensure_capacity(n);
+        model
+    }
+
+    /// Pre-sizes the count table to hold peers `0..n` (never shrinks).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.counts.len() < n {
+            self.counts.resize(n, (0, 0));
+        }
+    }
+
     /// `(honest, total)` observation counts for a subject.
     pub fn counts(&self, subject: PeerId) -> (u64, u64) {
-        self.counts.get(&subject).copied().unwrap_or((0, 0))
+        self.counts.get(subject.index()).copied().unwrap_or((0, 0))
     }
 
     fn add(&mut self, subject: PeerId, conduct: Conduct) {
-        let e = self.counts.entry(subject).or_insert((0, 0));
+        let e = dense_slot(&mut self.counts, subject);
         if conduct.is_honest() {
             e.0 += 1;
         }
         e.1 += 1;
+    }
+
+    fn estimate_of(counts: (u64, u64)) -> TrustEstimate {
+        match counts {
+            (_, 0) => TrustEstimate::UNKNOWN,
+            (h, t) => TrustEstimate::new(h as f64 / t as f64, evidence_confidence(t as f64)),
+        }
     }
 }
 
@@ -48,10 +71,15 @@ impl TrustModel for MeanTrust {
     }
 
     fn predict(&self, subject: PeerId) -> TrustEstimate {
-        match self.counts(subject) {
-            (_, 0) => TrustEstimate::UNKNOWN,
-            (h, t) => TrustEstimate::new(h as f64 / t as f64, evidence_confidence(t as f64)),
+        Self::estimate_of(self.counts(subject))
+    }
+
+    fn predict_row_into(&self, out: &mut [TrustEstimate]) {
+        let covered = self.counts.len().min(out.len());
+        for (slot, counts) in out[..covered].iter_mut().zip(&self.counts) {
+            *slot = Self::estimate_of(*counts);
         }
+        out[covered..].fill(TrustEstimate::UNKNOWN);
     }
 
     fn name(&self) -> &'static str {
@@ -68,8 +96,15 @@ impl TrustModel for MeanTrust {
 pub struct EwmaTrust {
     /// Learning rate λ in `(0, 1]`.
     rate: f64,
-    scores: HashMap<PeerId, (f64, u64)>, // (score, observations)
+    /// Dense `(score, observations)` slots indexed by
+    /// [`PeerId::index`]; `observations == 0` marks a never-observed
+    /// subject (the score slot idles at the 0.5 starting point).
+    scores: Vec<(f64, u64)>,
 }
+
+/// The dense-slot default for an untouched EWMA score: the 0.5 starting
+/// point with zero observations.
+const EWMA_COLD: (f64, u64) = (0.5, 0);
 
 impl EwmaTrust {
     /// Creates a model with learning rate `rate`.
@@ -81,7 +116,22 @@ impl EwmaTrust {
         assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
         EwmaTrust {
             rate,
-            scores: HashMap::new(),
+            scores: Vec::new(),
+        }
+    }
+
+    /// Creates a model with learning rate `rate` pre-sized for a
+    /// community of `n` peers.
+    pub fn with_population(rate: f64, n: usize) -> EwmaTrust {
+        let mut model = EwmaTrust::new(rate);
+        model.ensure_capacity(n);
+        model
+    }
+
+    /// Pre-sizes the score table to hold peers `0..n` (never shrinks).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.scores.len() < n {
+            self.scores.resize(n, EWMA_COLD);
         }
     }
 
@@ -91,11 +141,22 @@ impl EwmaTrust {
     }
 
     fn update(&mut self, subject: PeerId, conduct: Conduct, weight: f64) {
-        let (score, n) = self.scores.entry(subject).or_insert((0.5, 0));
+        let index = subject.index();
+        if index >= self.scores.len() {
+            self.scores.resize(index + 1, EWMA_COLD);
+        }
+        let (score, n) = &mut self.scores[index];
         let target = if conduct.is_honest() { 1.0 } else { 0.0 };
         let lambda = self.rate * weight;
         *score = (1.0 - lambda) * *score + lambda * target;
         *n += 1;
+    }
+
+    fn estimate_of(slot: (f64, u64)) -> TrustEstimate {
+        match slot {
+            (_, 0) => TrustEstimate::UNKNOWN,
+            (score, n) => TrustEstimate::new(score, evidence_confidence(n as f64)),
+        }
     }
 }
 
@@ -116,10 +177,20 @@ impl TrustModel for EwmaTrust {
     }
 
     fn predict(&self, subject: PeerId) -> TrustEstimate {
-        match self.scores.get(&subject) {
-            None => TrustEstimate::UNKNOWN,
-            Some((score, n)) => TrustEstimate::new(*score, evidence_confidence(*n as f64)),
+        Self::estimate_of(
+            self.scores
+                .get(subject.index())
+                .copied()
+                .unwrap_or(EWMA_COLD),
+        )
+    }
+
+    fn predict_row_into(&self, out: &mut [TrustEstimate]) {
+        let covered = self.scores.len().min(out.len());
+        for (slot, score) in out[..covered].iter_mut().zip(&self.scores) {
+            *slot = Self::estimate_of(*score);
         }
+        out[covered..].fill(TrustEstimate::UNKNOWN);
     }
 
     fn name(&self) -> &'static str {

@@ -13,8 +13,8 @@
 
 use crate::confidence::evidence_confidence;
 use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+use crate::table::dense_slot;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of a [`BetaTrust`] model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -102,6 +102,32 @@ impl Evidence {
             Conduct::Dishonest => self.dishonest += weight,
         }
     }
+
+    /// Ingests one observation at `round`, decaying state or — when the
+    /// observation arrives *out of order* (gossip replaying per-session
+    /// feedback forks can deliver reports from rounds already decayed
+    /// past) — discounting the late evidence to its age-equivalent
+    /// weight `weight · forgetting^(last_round − round)` instead of
+    /// letting it enter at full weight.
+    fn observe(&mut self, conduct: Conduct, weight: f64, round: u64, forgetting: f64) {
+        if forgetting < 1.0 && round < self.last_round {
+            let staleness = forgetting.powf((self.last_round - round) as f64);
+            self.add(conduct, weight * staleness);
+        } else {
+            self.decay_to(round, forgetting);
+            self.add(conduct, weight);
+        }
+    }
+}
+
+/// A witness's own evidence plus an explicit graded marker: an ungraded
+/// witness gets [`BetaConfig::witness_prior`], which differs from the
+/// posterior of empty evidence — the dense table must keep the two
+/// apart just like a `HashMap` miss did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct WitnessSlot {
+    evidence: Evidence,
+    graded: bool,
 }
 
 /// The beta-posterior trust model.
@@ -126,10 +152,12 @@ impl Evidence {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BetaTrust {
     config: BetaConfig,
-    evidence: HashMap<PeerId, Evidence>,
+    /// Dense per-subject evidence, indexed by [`PeerId::index`]; ids
+    /// beyond the table read as cold (no evidence).
+    evidence: Vec<Evidence>,
     /// Witness reliability estimates (their own beta evidence), used to
     /// discount their reports.
-    witness_evidence: HashMap<PeerId, Evidence>,
+    witness_evidence: Vec<WitnessSlot>,
 }
 
 impl Default for BetaTrust {
@@ -153,8 +181,27 @@ impl BetaTrust {
         config.validate();
         BetaTrust {
             config,
-            evidence: HashMap::new(),
-            witness_evidence: HashMap::new(),
+            evidence: Vec::new(),
+            witness_evidence: Vec::new(),
+        }
+    }
+
+    /// Creates a default-configured model pre-sized for a community of
+    /// `n` peers, so no table growth happens on the record path.
+    pub fn with_population(n: usize) -> BetaTrust {
+        let mut model = BetaTrust::new();
+        model.ensure_capacity(n);
+        model
+    }
+
+    /// Pre-sizes the evidence tables to hold peers `0..n` (never
+    /// shrinks). Writes beyond the capacity still grow on demand.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.evidence.len() < n {
+            self.evidence.resize(n, Evidence::default());
+        }
+        if self.witness_evidence.len() < n {
+            self.witness_evidence.resize(n, WitnessSlot::default());
         }
     }
 
@@ -168,41 +215,53 @@ impl BetaTrust {
     /// reliability used for discounting.
     pub fn grade_witness(&mut self, witness: PeerId, corroborated: bool, round: u64) {
         let forgetting = self.config.forgetting;
-        let e = self.witness_evidence.entry(witness).or_default();
-        e.decay_to(round, forgetting);
-        e.add(Conduct::from_honest(corroborated), 1.0);
+        let slot = dense_slot(&mut self.witness_evidence, witness);
+        slot.graded = true;
+        slot.evidence
+            .observe(Conduct::from_honest(corroborated), 1.0, round, forgetting);
     }
 
     /// The evaluator's reliability estimate for a witness in `[0, 1]`.
     pub fn witness_reliability(&self, witness: PeerId) -> f64 {
-        match self.witness_evidence.get(&witness) {
-            None => self.config.witness_prior,
-            Some(e) => {
-                (self.config.prior_honest + e.honest)
+        match self.witness_evidence.get(witness.index()) {
+            Some(slot) if slot.graded => {
+                (self.config.prior_honest + slot.evidence.honest)
                     / (self.config.prior_honest
                         + self.config.prior_dishonest
-                        + e.honest
-                        + e.dishonest)
+                        + slot.evidence.honest
+                        + slot.evidence.dishonest)
             }
+            _ => self.config.witness_prior,
         }
     }
 
     /// Raw posterior parameters `(α, β)` for a subject (including priors).
     pub fn posterior(&self, subject: PeerId) -> (f64, f64) {
-        let e = self.evidence.get(&subject).copied().unwrap_or_default();
+        let e = self
+            .evidence
+            .get(subject.index())
+            .copied()
+            .unwrap_or_default();
         (
             self.config.prior_honest + e.honest,
             self.config.prior_dishonest + e.dishonest,
         )
+    }
+
+    fn estimate_of(&self, e: Evidence) -> TrustEstimate {
+        let alpha = self.config.prior_honest + e.honest;
+        let beta = self.config.prior_dishonest + e.dishonest;
+        let mean = alpha / (alpha + beta);
+        // Evidence mass beyond the prior drives confidence.
+        let mass = (alpha + beta) - (self.config.prior_honest + self.config.prior_dishonest);
+        TrustEstimate::new(mean, evidence_confidence(mass))
     }
 }
 
 impl TrustModel for BetaTrust {
     fn record_direct(&mut self, subject: PeerId, conduct: Conduct, round: u64) {
         let forgetting = self.config.forgetting;
-        let e = self.evidence.entry(subject).or_default();
-        e.decay_to(round, forgetting);
-        e.add(conduct, 1.0);
+        dense_slot(&mut self.evidence, subject).observe(conduct, 1.0, round, forgetting);
     }
 
     fn record_witness(&mut self, report: WitnessReport) {
@@ -216,17 +275,32 @@ impl TrustModel for BetaTrust {
             return;
         }
         let forgetting = self.config.forgetting;
-        let e = self.evidence.entry(report.subject).or_default();
-        e.decay_to(report.round, forgetting);
-        e.add(report.conduct, weight);
+        dense_slot(&mut self.evidence, report.subject).observe(
+            report.conduct,
+            weight,
+            report.round,
+            forgetting,
+        );
     }
 
     fn predict(&self, subject: PeerId) -> TrustEstimate {
-        let (alpha, beta) = self.posterior(subject);
-        let mean = alpha / (alpha + beta);
-        // Evidence mass beyond the prior drives confidence.
-        let mass = (alpha + beta) - (self.config.prior_honest + self.config.prior_dishonest);
-        TrustEstimate::new(mean, evidence_confidence(mass))
+        let e = self
+            .evidence
+            .get(subject.index())
+            .copied()
+            .unwrap_or_default();
+        self.estimate_of(e)
+    }
+
+    fn predict_row_into(&self, out: &mut [TrustEstimate]) {
+        let covered = self.evidence.len().min(out.len());
+        for (slot, e) in out[..covered].iter_mut().zip(&self.evidence) {
+            *slot = self.estimate_of(*e);
+        }
+        if covered < out.len() {
+            let cold = self.estimate_of(Evidence::default());
+            out[covered..].fill(cold);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -424,5 +498,74 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(BetaTrust::new().name(), "beta");
+    }
+
+    /// Regression: an observation whose round predates `last_round` used
+    /// to skip the decay entirely and enter at *full* weight under
+    /// forgetting < 1. It must instead be discounted by
+    /// `forgetting^(last_round − round)`, exactly as if it had been
+    /// recorded on time and decayed since.
+    #[test]
+    fn late_evidence_is_discounted_to_age_equivalent_weight() {
+        let cfg = BetaConfig {
+            forgetting: 0.5,
+            ..BetaConfig::default()
+        };
+        // In-order: honest at round 8, then advance to round 10.
+        let mut on_time = BetaTrust::with_config(cfg);
+        let p = PeerId(1);
+        on_time.record_direct(p, Conduct::Honest, 8);
+        on_time.record_direct(p, Conduct::Dishonest, 10);
+        // Out-of-order: round 10 first, the round-8 report replays late.
+        let mut late = BetaTrust::with_config(cfg);
+        late.record_direct(p, Conduct::Dishonest, 10);
+        late.record_direct(p, Conduct::Honest, 8);
+        // Both orders must agree: the late honest observation carries
+        // weight 0.5² = 0.25, not 1.0.
+        let (alpha, beta) = late.posterior(p);
+        assert!((alpha - 1.25).abs() < 1e-12, "late α: {alpha}");
+        assert!((beta - 2.0).abs() < 1e-12, "late β: {beta}");
+        let (a2, b2) = on_time.posterior(p);
+        assert!((alpha - a2).abs() < 1e-12 && (beta - b2).abs() < 1e-12);
+        // Late witness reports take the same path.
+        let mut m = BetaTrust::with_config(cfg);
+        let witness = PeerId(2);
+        for _ in 0..10 {
+            m.grade_witness(witness, true, 0);
+        }
+        m.record_direct(p, Conduct::Honest, 6);
+        let (before, _) = m.posterior(p);
+        m.record_witness(WitnessReport {
+            witness,
+            subject: p,
+            conduct: Conduct::Honest,
+            round: 2,
+        });
+        let (after, _) = m.posterior(p);
+        let gained = after - before;
+        assert!(
+            gained > 0.0 && gained < 0.5 * 0.0625 + 1e-12,
+            "stale witness report must enter below its on-time weight: {gained}"
+        );
+    }
+
+    /// With forgetting = 1 (the default) late evidence is weightless to
+    /// discount — order independence must hold exactly as before.
+    #[test]
+    fn late_evidence_full_weight_without_forgetting() {
+        let p = PeerId(1);
+        let mut m = BetaTrust::new();
+        m.record_direct(p, Conduct::Honest, 10);
+        m.record_direct(p, Conduct::Honest, 3);
+        assert_eq!(m.posterior(p), (3.0, 1.0));
+    }
+
+    #[test]
+    fn with_population_presizes_without_changing_predictions() {
+        let sized = BetaTrust::with_population(64);
+        let grown = BetaTrust::new();
+        for id in [0u32, 7, 63, 64, 1000] {
+            assert_eq!(sized.predict(PeerId(id)), grown.predict(PeerId(id)));
+        }
     }
 }

@@ -23,8 +23,10 @@
 
 use crate::confidence::evidence_confidence;
 use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+use crate::table::dense_slot;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of the complaint-based model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,6 +67,65 @@ impl Assessment {
 struct Tally {
     received: f64,
     filed: f64,
+    /// Whether this peer ever appeared in a complaint. Dense tables hold
+    /// a slot for every id, but the median over an undeclared population
+    /// is taken only over peers *with records* — exactly the peers the
+    /// old map-backed storage held an entry for.
+    seen: bool,
+}
+
+impl Tally {
+    fn product(&self) -> f64 {
+        (self.received + 1.0) * (self.filed + 1.0)
+    }
+}
+
+/// Lazily recomputed population median, shared across concurrent
+/// readers.
+///
+/// Mutations (`&mut self` on the model) raise `dirty`; the next
+/// `median_product` call — predictions arrive in large read-only batches
+/// between mutations, possibly from several metric worker threads at
+/// once — recomputes the median in O(n) with `select_nth_unstable_by`
+/// into a reused scratch buffer and publishes it through `bits`.
+/// Concurrent recomputes are benign: the median is a pure function of
+/// the (then-immutable) tallies, so every racer stores identical bits.
+#[derive(Debug)]
+struct MedianCache {
+    /// `f64::to_bits` of the cached median; meaningful only when
+    /// `dirty` is false.
+    bits: AtomicU64,
+    dirty: AtomicBool,
+    /// Scratch for the selection pass, reused across recomputes.
+    scratch: Mutex<Vec<f64>>,
+}
+
+impl Default for MedianCache {
+    /// Starts dirty so the first read computes rather than trusting the
+    /// placeholder bits.
+    fn default() -> Self {
+        MedianCache {
+            bits: AtomicU64::new(1.0f64.to_bits()),
+            dirty: AtomicBool::new(true),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl MedianCache {
+    fn snapshot(&self) -> MedianCache {
+        // Load `dirty` before `bits`: a concurrent recompute publishes
+        // bits first and clears dirty second (release), so observing
+        // dirty == false guarantees the subsequent bits load is the
+        // published value. The reverse order could pair stale bits with
+        // a fresh clean flag.
+        let dirty = self.dirty.load(Ordering::Acquire);
+        MedianCache {
+            bits: AtomicU64::new(self.bits.load(Ordering::Acquire)),
+            dirty: AtomicBool::new(dirty),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 /// The complaint-based trust model.
@@ -90,13 +151,30 @@ struct Tally {
 /// assert!(model.predict(cheater).p_honest < 0.5);
 /// assert_eq!(model.assess(PeerId(1)), Assessment::Trustworthy);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct ComplaintTrust {
     config: ComplaintConfig,
-    tallies: HashMap<PeerId, Tally>,
+    /// Dense per-peer tallies, indexed by [`PeerId::index`].
+    tallies: Vec<Tally>,
+    /// Number of peers with `seen == true` — the size the map-backed
+    /// storage used to have.
+    recorded: usize,
     /// Known community size; peers without records count as product 1.0
     /// when computing the population median.
     population: Option<usize>,
+    median: MedianCache,
+}
+
+impl Clone for ComplaintTrust {
+    fn clone(&self) -> Self {
+        ComplaintTrust {
+            config: self.config,
+            tallies: self.tallies.clone(),
+            recorded: self.recorded,
+            population: self.population,
+            median: self.median.snapshot(),
+        }
+    }
 }
 
 impl Default for ComplaintTrust {
@@ -124,8 +202,29 @@ impl ComplaintTrust {
         );
         ComplaintTrust {
             config,
-            tallies: HashMap::new(),
+            tallies: Vec::new(),
+            recorded: 0,
             population: None,
+            median: MedianCache::default(),
+        }
+    }
+
+    /// Creates a default-configured model for a community of `n` peers:
+    /// the tally table is pre-sized and the population declared (as by
+    /// [`ComplaintTrust::set_population`]) in one step.
+    pub fn with_population(n: usize) -> ComplaintTrust {
+        let mut model = ComplaintTrust::new();
+        model.set_population(n);
+        model.ensure_capacity(n);
+        model
+    }
+
+    /// Pre-sizes the tally table to hold peers `0..n` (never shrinks,
+    /// does not declare a population). Writes beyond the capacity still
+    /// grow on demand.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.tallies.len() < n {
+            self.tallies.resize(n, Tally::default());
         }
     }
 
@@ -135,6 +234,7 @@ impl ComplaintTrust {
     /// overstates the baseline in quiet communities.
     pub fn set_population(&mut self, n: usize) {
         self.population = Some(n);
+        self.median.dirty.store(true, Ordering::Release);
     }
 
     /// The active configuration.
@@ -147,41 +247,78 @@ impl ComplaintTrust {
         self.add_complaint(by, about, 1.0);
     }
 
+    /// Mutable access to a peer's tally, marking it as recorded (the
+    /// dense stand-in for map-entry creation).
+    fn tally_mut(&mut self, peer: PeerId) -> &mut Tally {
+        let slot = dense_slot(&mut self.tallies, peer);
+        if !slot.seen {
+            slot.seen = true;
+            self.recorded += 1;
+        }
+        slot
+    }
+
     fn add_complaint(&mut self, by: PeerId, about: PeerId, weight: f64) {
-        self.tallies.entry(about).or_default().received += weight;
-        self.tallies.entry(by).or_default().filed += weight;
+        self.tally_mut(about).received += weight;
+        self.tally_mut(by).filed += weight;
+        self.median.dirty.store(true, Ordering::Release);
     }
 
     /// The Laplace-shifted complaint product `T(q)`.
     pub fn complaint_product(&self, peer: PeerId) -> f64 {
-        let t = self.tallies.get(&peer).copied().unwrap_or_default();
-        (t.received + 1.0) * (t.filed + 1.0)
+        self.tallies
+            .get(peer.index())
+            .copied()
+            .unwrap_or_default()
+            .product()
     }
 
     /// Complaints received / filed by a peer (direct + discounted).
     pub fn tally(&self, peer: PeerId) -> (f64, f64) {
-        let t = self.tallies.get(&peer).copied().unwrap_or_default();
+        let t = self.tallies.get(peer.index()).copied().unwrap_or_default();
         (t.received, t.filed)
     }
 
     /// Median complaint product over the community: peers with records
     /// contribute their product, the rest (when a population size is
     /// declared) contribute the baseline 1.0. Returns 1.0 when empty.
+    ///
+    /// The value is cached behind a mutation dirty-flag: recording a
+    /// complaint invalidates it, the next call recomputes in O(n) via
+    /// `select_nth_unstable_by` (no sort, no allocation after warm-up),
+    /// and the prediction batches in between read the cached value — the
+    /// per-predict cost the old sort-per-call implementation paid is
+    /// amortized to O(1).
     pub fn median_product(&self) -> f64 {
-        if self.tallies.is_empty() {
+        if !self.median.dirty.load(Ordering::Acquire) {
+            return f64::from_bits(self.median.bits.load(Ordering::Acquire));
+        }
+        let median = self.compute_median();
+        self.median.bits.store(median.to_bits(), Ordering::Release);
+        self.median.dirty.store(false, Ordering::Release);
+        median
+    }
+
+    /// The from-scratch median: O(n) selection over recorded products
+    /// plus the silent-peer baseline padding.
+    fn compute_median(&self) -> f64 {
+        if self.recorded == 0 {
             return 1.0;
         }
-        let mut products: Vec<f64> = self
-            .tallies
-            .values()
-            .map(|t| (t.received + 1.0) * (t.filed + 1.0))
-            .collect();
+        let mut products = self
+            .median
+            .scratch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        products.clear();
+        products.extend(self.tallies.iter().filter(|t| t.seen).map(Tally::product));
         if let Some(n) = self.population {
             let silent = n.saturating_sub(products.len());
             products.extend(std::iter::repeat_n(1.0, silent));
         }
-        products.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        products[products.len() / 2]
+        let mid = products.len() / 2;
+        let (_, median, _) = products.select_nth_unstable_by(mid, f64::total_cmp);
+        *median
     }
 
     /// The CIKM-style binary decision: untrustworthy when the complaint
@@ -194,6 +331,15 @@ impl ComplaintTrust {
             Assessment::Trustworthy
         }
     }
+
+    fn estimate_of(&self, tally: Tally, threshold: f64) -> TrustEstimate {
+        // Smooth mapping: the farther above the median the product lies,
+        // the lower the honesty estimate. At the median: ~0.5 + baseline;
+        // well below: near the baseline prior of honest communities.
+        let ratio = tally.product() / threshold;
+        let p = 1.0 / (1.0 + ratio * ratio);
+        TrustEstimate::new(p, evidence_confidence(tally.received + tally.filed))
+    }
 }
 
 impl TrustModel for ComplaintTrust {
@@ -204,7 +350,8 @@ impl TrustModel for ComplaintTrust {
         // system tracks global filing counts; see `trustex-reputation`),
         // so only the received side is bumped here.
         if !conduct.is_honest() {
-            self.tallies.entry(subject).or_default().received += 1.0;
+            self.tally_mut(subject).received += 1.0;
+            self.median.dirty.store(true, Ordering::Release);
         }
     }
 
@@ -215,15 +362,27 @@ impl TrustModel for ComplaintTrust {
     }
 
     fn predict(&self, subject: PeerId) -> TrustEstimate {
-        // Smooth mapping: the farther above the median the product lies,
-        // the lower the honesty estimate. At the median: ~0.5 + baseline;
-        // well below: near the baseline prior of honest communities.
-        let product = self.complaint_product(subject);
-        let median = self.median_product();
-        let ratio = product / (self.config.outlier_factor * median);
-        let p = 1.0 / (1.0 + ratio * ratio);
-        let (received, filed) = self.tally(subject);
-        TrustEstimate::new(p, evidence_confidence(received + filed))
+        let tally = self
+            .tallies
+            .get(subject.index())
+            .copied()
+            .unwrap_or_default();
+        let threshold = self.config.outlier_factor * self.median_product();
+        self.estimate_of(tally, threshold)
+    }
+
+    fn predict_row_into(&self, out: &mut [TrustEstimate]) {
+        // One median read (amortized O(1)) and one threshold multiply
+        // serve the whole sweep.
+        let threshold = self.config.outlier_factor * self.median_product();
+        let covered = self.tallies.len().min(out.len());
+        for (slot, tally) in out[..covered].iter_mut().zip(&self.tallies) {
+            *slot = self.estimate_of(*tally, threshold);
+        }
+        if covered < out.len() {
+            let cold = self.estimate_of(Tally::default(), threshold);
+            out[covered..].fill(cold);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -40,6 +40,7 @@ pub mod beta;
 pub mod complaints;
 pub mod confidence;
 pub mod model;
+mod table;
 
 /// Commonly used items, for glob import.
 pub mod prelude {

@@ -138,6 +138,19 @@ pub trait TrustModel {
     /// Predicts the subject's behaviour in the next interaction.
     fn predict(&self, subject: PeerId) -> TrustEstimate;
 
+    /// Fills `out[i]` with the estimate for subject `PeerId(i)` — the
+    /// batched read path of the accuracy metrics.
+    ///
+    /// Must be bit-identical to calling [`TrustModel::predict`] per
+    /// subject; models with dense evidence tables override it with a
+    /// single table sweep that hoists every per-call invariant (priors,
+    /// the complaint median, bounds checks) out of the loop.
+    fn predict_row_into(&self, out: &mut [TrustEstimate]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.predict(PeerId(i as u32));
+        }
+    }
+
     /// Stable model name for experiment tables.
     fn name(&self) -> &'static str;
 }
