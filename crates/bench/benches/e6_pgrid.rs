@@ -42,5 +42,24 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_query);
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/join");
+    group.sample_size(10);
+    // One admission: subtree-sampled descent + replica handoff. The
+    // subtree-count walk keeps this O(depth), so the cost should stay
+    // flat as the population grows.
+    for n in [256usize, 4096, 65536] {
+        let mut rng = SimRng::new(11);
+        let grid = PGrid::build(n, PGridConfig::for_population(n, 4), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &grid, |b, grid| {
+            // One clone per measurement, then successive admissions into
+            // the same overlay — each iteration is one join.
+            let mut g = grid.clone();
+            b.iter(|| black_box(g.join(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query, bench_join);
 criterion_main!(benches);

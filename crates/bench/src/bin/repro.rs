@@ -9,9 +9,10 @@
 //! ```
 //!
 //! `--only ID[,ID...]` selects a comma-separated subset in one flag —
-//! the form perf iteration on a hot path wants (e.g. `--only e5,e8,e9`
-//! skips the ~14 s e6 entirely); it composes with positional ids and
-//! rejects unknown or empty ids with exit code 2 before any work runs.
+//! the form perf iteration on a hot path wants (e.g. `--only e6`
+//! isolates the P-Grid overlay ladder, `--only e5,e8,e9` the trust
+//! layer); it composes with positional ids and rejects unknown or empty
+//! ids with exit code 2 before any work runs.
 //!
 //! `--threads N` pins the worker-pool size used by the arm-parallel
 //! experiment runner and the sharded market simulator (default: detected

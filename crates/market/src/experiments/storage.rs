@@ -11,14 +11,16 @@ use crate::workload::Workload;
 use trustex_agents::profile::PopulationMix;
 use trustex_core::policy::PaymentPolicy;
 use trustex_netsim::churn::{ChurnModel, ChurnTimeline};
+use trustex_netsim::net::{NetConfig, Network};
 use trustex_netsim::pool::parallel_map;
 use trustex_netsim::rng::SimRng;
 use trustex_netsim::time::SimTime;
+use trustex_reputation::lifecycle::{Lifecycle, LifecycleConfig};
 use trustex_reputation::pgrid::{PGrid, PGridConfig};
 use trustex_reputation::record::key_for_peer;
 use trustex_trust::model::PeerId;
 
-/// Outcome of one [`measure_grid`] arm.
+/// Outcome of one measurement arm over a shared base grid.
 struct GridArm {
     mean_hops: f64,
     msgs_per_query: f64,
@@ -26,30 +28,33 @@ struct GridArm {
     /// Success rate after [`PGrid::repair`], over the *identical* query
     /// sequence — `None` unless the arm asked for the repair pass.
     success_repaired: Option<f64>,
+    /// Fraction of peers admitted during a join/leave arm whose path
+    /// reached the configured depth — `None` outside churn arms.
+    join_maturity: Option<f64>,
 }
 
-/// One P-Grid measurement arm: a self-contained build + churn + query
-/// workload, pure in its parameters and seed (so arms can fan across the
-/// worker pool).
-///
-/// When `measure_repair` is set, the arm additionally repairs the
-/// reference tables against the churn mask (evict dead references,
-/// refill by meetings among live peers) and replays the *same* query
-/// sequence — so the repaired column differs from the plain one only by
-/// the repair, not by the scenario.
-fn measure_grid(
-    n: usize,
-    replication: usize,
-    down_fraction: f64,
-    measure_repair: bool,
-    queries: usize,
-    seed: u64,
-) -> GridArm {
+impl GridArm {
+    /// The all-failed arm (nobody alive to originate queries).
+    fn dead(measure_repair: bool) -> GridArm {
+        GridArm {
+            mean_hops: 0.0,
+            msgs_per_query: 0.0,
+            success: 0.0,
+            success_repaired: measure_repair.then_some(0.0),
+            join_maturity: None,
+        }
+    }
+}
+
+/// Builds one base grid and seeds it with complaints — the expensive,
+/// availability-independent part of an E6 rung, shared by every arm at
+/// that population (the old layout rebuilt the same grid once per arm,
+/// tripling the dominant cost of the experiment).
+fn build_base(n: usize, replication: usize, seed: u64) -> PGrid {
     let mut rng = SimRng::new(seed);
     let cfg = PGridConfig::for_population(n, replication);
     let mut grid = PGrid::build(n, cfg, &mut rng);
-    let mut net = trustex_netsim::net::Network::new(trustex_netsim::net::NetConfig::default());
-
+    let mut net = Network::new(NetConfig::default());
     // Seed some complaints so queries return data.
     for i in 0..(n / 2) {
         let about = PeerId((i % n) as u32);
@@ -61,6 +66,50 @@ fn measure_grid(
         };
         grid.insert(i % n, key, item, None, &mut net, &mut rng);
     }
+    grid
+}
+
+/// Replays `queries` lookups (subjects and origins drawn from `qrng`)
+/// and tallies (successes, total hops); message counts accrue in `net`.
+fn run_queries(
+    grid: &PGrid,
+    alive: Option<&[bool]>,
+    live_origins: &[usize],
+    queries: usize,
+    qrng: &mut SimRng,
+    net: &mut Network,
+) -> (usize, u64) {
+    let n = grid.len();
+    let cfg = grid.config();
+    let mut success = 0usize;
+    let mut hops_sum = 0u64;
+    for _ in 0..queries {
+        let subject = PeerId(qrng.index(n) as u32);
+        let key = key_for_peer(subject, cfg.key_bits);
+        let origin = live_origins[qrng.index(live_origins.len())];
+        let result = grid.query(origin, key, alive, net, qrng);
+        if result.is_resolved() {
+            success += 1;
+            hops_sum += result.hops as u64;
+        }
+    }
+    (success, hops_sum)
+}
+
+/// One availability arm over a shared base grid: snapshot a churn mask,
+/// replay the query workload (read-only on the base — no rebuild, no
+/// clone), and optionally repair a cloned grid against the mask and
+/// replay the *same* sequence — so the repaired column differs from the
+/// plain one only by the repair, not by the scenario.
+fn availability_arm(
+    base: &PGrid,
+    down_fraction: f64,
+    measure_repair: bool,
+    queries: usize,
+    seed: u64,
+) -> GridArm {
+    let mut rng = SimRng::new(seed);
+    let n = base.len();
 
     // Availability mask via a churn timeline snapshot. The means are
     // floored so `down_fraction` 0.0 and 1.0 stay valid models.
@@ -80,78 +129,143 @@ fn measure_grid(
         None => (0..n).collect(),
     };
     if live_origins.is_empty() {
-        return GridArm {
-            mean_hops: 0.0,
-            msgs_per_query: 0.0,
-            success: 0.0,
-            success_repaired: measure_repair.then_some(0.0),
-        };
+        return GridArm::dead(measure_repair);
     }
 
     // The query workload runs off a fork so the post-repair pass can
     // replay the identical sequence.
     let qrng = rng.fork(0xE6);
-    net.reset_counters();
-    let mut qrng_main = qrng.clone();
-    let mut hops_sum = 0u64;
-    let mut success = 0usize;
-    for _ in 0..queries {
-        let subject = PeerId(qrng_main.index(n) as u32);
-        let key = key_for_peer(subject, cfg.key_bits);
-        let origin = live_origins[qrng_main.index(live_origins.len())];
-        let result = grid.query(origin, key, alive.as_deref(), &mut net, &mut qrng_main);
-        if result.is_resolved() {
-            success += 1;
-            hops_sum += result.hops as u64;
-        }
-    }
+    let mut net = Network::new(NetConfig::default());
+    let (success, hops_sum) = run_queries(
+        base,
+        alive.as_deref(),
+        &live_origins,
+        queries,
+        &mut qrng.clone(),
+        &mut net,
+    );
     let msgs_per_query = net.total_sent() as f64 / queries as f64;
     let mean_hops = hops_sum as f64 / success.max(1) as f64;
 
-    let success_repaired = if measure_repair {
+    let success_repaired = measure_repair.then(|| {
+        let mut grid = base.clone();
         if let Some(mask) = alive.as_deref() {
             grid.repair(mask, 4 * n, &mut rng);
         }
-        let mut qrng_rep = qrng.clone();
-        let mut repaired = 0usize;
-        for _ in 0..queries {
-            let subject = PeerId(qrng_rep.index(n) as u32);
-            let key = key_for_peer(subject, cfg.key_bits);
-            let origin = live_origins[qrng_rep.index(live_origins.len())];
-            if grid
-                .query(origin, key, alive.as_deref(), &mut net, &mut qrng_rep)
-                .is_resolved()
-            {
-                repaired += 1;
-            }
-        }
-        Some(repaired as f64 / queries as f64)
-    } else {
-        None
-    };
+        let (repaired, _) = run_queries(
+            &grid,
+            alive.as_deref(),
+            &live_origins,
+            queries,
+            &mut qrng.clone(),
+            &mut net,
+        );
+        repaired as f64 / queries as f64
+    });
 
     GridArm {
         mean_hops,
         msgs_per_query,
         success: success as f64 / queries as f64,
         success_repaired,
+        join_maturity: None,
     }
+}
+
+/// The join/leave arm: true membership churn, not an availability mask.
+/// ~5 % of the population requests admission (paced by the lifecycle
+/// layer's bounded admission rate and backoff) while another ~5 % goes
+/// silent and is evicted as stale; the query workload then runs over
+/// the post-churn overlay. Success counts only live-origin lookups, and
+/// `join_maturity` reports how completely the newcomers descended to
+/// the configured depth.
+fn join_leave_arm(base: &PGrid, queries: usize, seed: u64) -> GridArm {
+    let mut rng = SimRng::new(seed);
+    let mut grid = base.clone();
+    let n = grid.len();
+    let wave = (n / 20).max(2); // ~5% joins, ~5% leaves
+    let per_tick = wave.div_ceil(8).max(1);
+    let mut lc = Lifecycle::new(
+        LifecycleConfig {
+            max_admissions_per_tick: per_tick,
+            stale_after: 2,
+            max_evictions_per_tick: per_tick,
+            ..LifecycleConfig::default()
+        },
+        n,
+    );
+    for _ in 0..wave {
+        lc.request_join();
+    }
+    // The leave side: a random ~5% of the bootstrap population goes
+    // silent (never touched), crossing the staleness horizon at tick 3.
+    let mut silent = vec![false; n];
+    for i in rng.sample_indices(n, wave) {
+        silent[i] = true;
+    }
+    for _ in 0..12 {
+        for p in 0..grid.len() {
+            if grid.is_live(p) && silent.get(p) != Some(&true) {
+                lc.touch(p);
+            }
+        }
+        lc.step(&mut grid, &mut rng);
+    }
+
+    let admitted = grid.len() - n;
+    let mature = (n..grid.len())
+        .filter(|&i| grid.is_live(i) && grid.path(i).len() == grid.config().max_depth)
+        .count();
+    let live_origins: Vec<usize> = (0..grid.len()).filter(|&i| grid.is_live(i)).collect();
+    if live_origins.is_empty() {
+        return GridArm::dead(false);
+    }
+    let mut net = Network::new(NetConfig::default());
+    let mut qrng = rng.fork(0xE6);
+    let (success, hops_sum) = run_queries(&grid, None, &live_origins, queries, &mut qrng, &mut net);
+    GridArm {
+        mean_hops: hops_sum as f64 / success.max(1) as f64,
+        msgs_per_query: net.total_sent() as f64 / queries as f64,
+        success: success as f64 / queries as f64,
+        success_repaired: None,
+        join_maturity: Some(mature as f64 / admitted.max(1) as f64),
+    }
+}
+
+/// Compatibility shape of the old all-in-one measurement (used by the
+/// E10 replication ablation): build a private base and run a single
+/// availability arm over it.
+fn measure_grid(
+    n: usize,
+    replication: usize,
+    down_fraction: f64,
+    measure_repair: bool,
+    queries: usize,
+    seed: u64,
+) -> GridArm {
+    let base = build_base(n, replication, seed);
+    availability_arm(&base, down_fraction, measure_repair, queries, seed ^ 0x51E6)
 }
 
 /// E6 — *Figure R5*: reputation lookups cost `O(log N)` messages and
 /// survive churn thanks to replication — the property the paper's
-/// reference \[2\] rests on. Paper scale runs the ladder up to the
-/// ROADMAP's north-star population of 65536 peers.
+/// reference \[2\] rests on. Paper scale runs the ladder to 2¹⁸ peers.
 ///
-/// Every `(size, availability)` arm is an independent `measure_grid`
-/// call with its own pinned seed, so all arms fan across the worker
-/// pool in one batch and the table is bit-identical for any thread
-/// count.
+/// Two pool fans with pinned merge order: first one base grid per
+/// population rung (build + complaint seeding, the dominant cost, done
+/// once instead of once per arm), then every `(rung, arm)` measurement —
+/// three availability arms plus a join/leave churn arm — as pure
+/// functions of the shared base and a pinned seed. `parallel_map`
+/// returns results in submission order, so the table is bit-identical
+/// for any thread count.
 pub fn e6_pgrid(scale: Scale) -> Table {
-    let sizes: &[usize] = scale.pick(&[32, 128][..], &[16, 64, 256, 1024, 4096, 16384, 65536][..]);
+    let sizes: &[usize] = scale.pick(
+        &[32, 128][..],
+        &[16, 64, 256, 1024, 4096, 16384, 65536, 262144][..],
+    );
     let queries = scale.pick(100, 400);
     let mut table = Table::new(
-        "E6: P-Grid lookup cost and availability (replication 4)",
+        "E6: P-Grid lookup cost, availability and membership churn (replication 4)",
         &[
             "n_peers",
             "mean_hops",
@@ -160,27 +274,36 @@ pub fn e6_pgrid(scale: Scale) -> Table {
             "success@10%down",
             "success@30%down",
             "success@30%down+repair",
+            "success@join/leave",
+            "join_maturity",
         ],
     );
-    // Three availability arms per size; the 30%-down arm also measures
-    // the repaired-table success over its own query sequence.
+    let bases = parallel_map(0, sizes.iter().enumerate().collect(), |_, (i, &n)| {
+        build_base(n, 4, 0xE6B0 + i as u64)
+    });
+
+    // Three availability arms per size (the 30%-down arm also measures
+    // the repaired-table success over its own query sequence), plus the
+    // join/leave churn arm.
     const DOWN: [f64; 3] = [0.0, 0.10, 0.30];
-    let arms: Vec<(usize, f64, u64)> = sizes
-        .iter()
-        .enumerate()
-        .flat_map(|(i, &n)| {
+    const ARMS_PER_RUNG: usize = DOWN.len() + 1;
+    let arms: Vec<(usize, Option<f64>, u64)> = (0..sizes.len())
+        .flat_map(|i| {
             DOWN.iter()
                 .enumerate()
-                .map(move |(j, &down)| (n, down, 0xE600 + 16 * i as u64 + j as u64))
+                .map(move |(j, &down)| (i, Some(down), 0xE600 + 16 * i as u64 + j as u64))
+                .chain([(i, None, 0xE600 + 16 * i as u64 + DOWN.len() as u64)])
         })
         .collect();
-    let results = parallel_map(0, arms, |_, (n, down, seed)| {
-        measure_grid(n, 4, down, down == 0.30, queries, seed)
+    let results = parallel_map(0, arms, |_, (rung, down, seed)| match down {
+        Some(down) => availability_arm(&bases[rung], down, down == 0.30, queries, seed),
+        None => join_leave_arm(&bases[rung], queries, seed),
     });
     for (i, &n) in sizes.iter().enumerate() {
-        let clean = &results[DOWN.len() * i];
-        let churn10 = &results[DOWN.len() * i + 1];
-        let churn30 = &results[DOWN.len() * i + 2];
+        let clean = &results[ARMS_PER_RUNG * i];
+        let churn10 = &results[ARMS_PER_RUNG * i + 1];
+        let churn30 = &results[ARMS_PER_RUNG * i + 2];
+        let joinleave = &results[ARMS_PER_RUNG * i + 3];
         table.push_row(vec![
             n.into(),
             clean.mean_hops.into(),
@@ -189,6 +312,8 @@ pub fn e6_pgrid(scale: Scale) -> Table {
             churn10.success.into(),
             churn30.success.into(),
             churn30.success_repaired.expect("repair pass ran").into(),
+            joinleave.success.into(),
+            joinleave.join_maturity.expect("churn arm ran").into(),
         ]);
     }
     table
@@ -350,6 +475,24 @@ mod tests {
             assert!(
                 num(&row[6]) > 0.85,
                 "repair should restore routing: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn e6_membership_churn_keeps_lookups_alive() {
+        let t = e6_pgrid(Scale::Smoke);
+        for row in t.rows() {
+            // ~5% real joins + ~5% real leaves: the overlay absorbs the
+            // wave — lookups stay close to the no-churn column, and the
+            // admitted peers integrate to full depth.
+            assert!(
+                num(&row[7]) >= num(&row[3]) - 0.15,
+                "join/leave success collapsed: {row:?}"
+            );
+            assert!(
+                num(&row[8]) > 0.9,
+                "admitted peers failed to descend: {row:?}"
             );
         }
     }

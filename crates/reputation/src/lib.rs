@@ -9,7 +9,10 @@
 //!
 //! * [`record`] — complaints, binary keys, trie paths.
 //! * [`pgrid`] — the distributed trie: emergent bootstrap, greedy
-//!   routing, replicated inserts and queries with message accounting.
+//!   routing, replicated inserts and queries with message accounting,
+//!   plus true membership dynamics (`join`/`leave`).
+//! * [`lifecycle`] — admission pacing over the grid: join backoff,
+//!   bounded admission rate, stale-peer eviction.
 //! * [`resolve`] — majority/median resolution against lying replicas.
 //! * [`system`] — the facade the market simulation uses
 //!   ([`system::ReputationSystem`]), plus the centralized baseline.
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lifecycle;
 pub mod pgrid;
 pub mod record;
 pub mod resolve;
@@ -34,6 +38,7 @@ pub mod system;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::lifecycle::{Lifecycle, LifecycleConfig, TickReport};
     pub use crate::pgrid::{InsertReceipt, PGrid, PGridConfig, QueryResult};
     pub use crate::record::{key_for_peer, BitPath, Complaint, Key};
     pub use crate::resolve::{majority_vote, median_count, StorageBehavior};

@@ -17,30 +17,61 @@
 //! populations. Splitting stops at a configured depth so that each leaf
 //! retains a replica group.
 //!
-//! # Scaling structures (10^5-peer populations)
+//! # Flat-arena layout (10^5–10^6-peer populations)
 //!
-//! Three structures keep every operation sub-linear in the population so
-//! the grid holds up at the 10^4–10^5 peers the experiments target:
+//! Everything the hot paths touch lives in flat, index-addressed
+//! storage — no per-peer allocation graph, no tree-shaped directory:
 //!
-//! * **Leaf directory.** A sorted directory (`BTreeMap<BitPath, _>`, in
-//!   trie depth-first order) maps every *occupied* path to the dense
-//!   indices of the peers owning it. It is updated incrementally each
-//!   time a meeting extends a path, with an O(1) positional swap-remove.
-//!   Invariant: each peer appears in exactly one bucket — the one for
-//!   its current path — so replica-group resolution probes at most
-//!   `max_depth + 1` prefixes of the key instead of scanning all `N`
-//!   peers ([`PGrid::responsible_peers`] is `O(depth · log leaves)`).
-//! * **Bounded reference buckets.** Each per-level reference bucket
-//!   holds at most `max_refs` entries stamped with the meeting tick that
-//!   last confirmed them; when a full bucket must admit a new peer, the
-//!   *stalest* entry is evicted (recency as a liveness proxy), and
-//!   [`PGrid::repair`] evicts references to peers a churn mask reports
-//!   down before refilling tables with meetings among live peers.
+//! * **Peer state is struct-of-arrays.** Paths, departure flags,
+//!   reference tables and complaint stores are parallel `Vec`s indexed
+//!   by the dense peer index. The per-level reference buckets of *all*
+//!   peers share one flat `Vec<RefEntry>` arena with a fixed
+//!   `max_depth × max_refs` stride per peer, so a meeting touches two
+//!   short cache lines instead of chasing nested `Vec`s.
+//! * **Heap-slot leaf directory.** The directory mapping every occupied
+//!   path to its owners is a flat arena of `2^(max_depth+1)` buckets
+//!   indexed by [`BitPath::slot`] (the u64-bit-packed heap layout of the
+//!   complete trie: root = 1, children of `s` = `2s`/`2s+1`). Lookup is
+//!   one shift — replica-group resolution probes `max_depth + 1` slots
+//!   directly ([`PGrid::responsible_peers`] is `O(depth)`), replacing
+//!   first the naive O(n) population scan and then the `BTreeMap`
+//!   directory of earlier revisions. Bucket membership moves are O(1)
+//!   positional swap-removes patched through `dir_pos`.
+//! * **Subtree counts.** A second heap-indexed arena counts the live
+//!   peers at-or-below every trie node, maintained in O(1) per path
+//!   extension and O(depth) per leave. [`PGrid::join`] uses it to sample
+//!   uniform meeting partners from the newcomer's shrinking subspace in
+//!   O(depth) per draw, so admissions stay cheap at any population.
+//! * **Bounded reference buckets.** Each per-level bucket holds at most
+//!   `max_refs` entries stamped with the meeting tick that last
+//!   confirmed them; when a full bucket must admit a new peer, the
+//!   *stalest* entry is overwritten in place (recency as a liveness
+//!   proxy — O(1), no shifting), and entries pointing at departed peers
+//!   are evicted lazily on the next bucket touch.
 //! * **Complaint compaction.** A peer's store keeps one entry per
 //!   `(by, about)` pair — the latest round wins — so repeated inserts
 //!   about the same relationship never grow a replica's store beyond
 //!   the number of distinct complaining pairs in its subspace. Replica
 //!   synchronisation merges stores under the same latest-round rule.
+//!
+//! # Membership dynamics
+//!
+//! The overlay supports true joins and leaves, not just availability
+//! masks over a bootstrap-time population:
+//!
+//! * [`PGrid::join`] admits a newcomer at the trie root and descends by
+//!   the ordinary meeting protocol — each meeting with a peer of its
+//!   current subspace extends its path one bit — finishing with a
+//!   replica handoff that copies the store of its new group (or of the
+//!   deepest remaining owner of its subspace), so coverage moves with
+//!   responsibility.
+//! * [`PGrid::leave`] removes a peer from the directory and releases
+//!   its subtree counts; references other peers hold to it die lazily
+//!   (routing treats departed peers as down, bucket touches and
+//!   [`PGrid::repair`] evict them).
+//!
+//! Admission pacing (join backoff, bounded admission rate, stale-peer
+//! eviction) lives one layer up, in [`crate::lifecycle`].
 
 use crate::record::{BitPath, Complaint, Key};
 use serde::{Deserialize, Serialize};
@@ -50,6 +81,10 @@ use trustex_netsim::rng::SimRng;
 use trustex_netsim::time::SimTime;
 use trustex_trust::model::PeerId;
 
+/// Upper bound on `max_depth`: the leaf directory and subtree counts
+/// are flat arenas of `2^(max_depth+1)` slots each.
+const ARENA_DEPTH_LIMIT: u8 = 20;
+
 /// Configuration of a [`PGrid`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PGridConfig {
@@ -57,7 +92,8 @@ pub struct PGridConfig {
     pub key_bits: u8,
     /// Maximum trie depth; `2^max_depth` leaves. Choosing
     /// `max_depth ≈ log2(n_peers / replication)` yields the target
-    /// replica-group size.
+    /// replica-group size. At most 20 (the directory arena holds
+    /// `2^(max_depth+1)` slots).
     pub max_depth: u8,
     /// Maximum references kept per level.
     pub max_refs: usize,
@@ -97,61 +133,27 @@ impl PGridConfig {
     fn validate(&self) {
         assert!(self.key_bits >= 1 && self.key_bits <= 32);
         assert!(self.max_depth >= 1 && self.max_depth <= self.key_bits);
+        assert!(
+            self.max_depth <= ARENA_DEPTH_LIMIT,
+            "max_depth {} exceeds the directory-arena limit {}",
+            self.max_depth,
+            ARENA_DEPTH_LIMIT
+        );
         assert!(self.max_refs >= 1);
     }
 }
 
 /// One bounded-bucket reference entry: a peer and the meeting tick that
-/// last confirmed it (higher = fresher).
+/// last confirmed it (higher = fresher). 8 bytes, so a whole bucket of
+/// the default `max_refs = 4` is half a cache line in the flat arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct RefEntry {
-    peer: usize,
-    stamp: u64,
+    peer: u32,
+    stamp: u32,
 }
 
-/// One peer's trie position, references and local store.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct PeerNode {
-    id: PeerId,
-    path: BitPath,
-    /// `refs[l]` = bounded bucket of peers with the same first `l` bits
-    /// and opposite bit `l`. Indexed by level, length = `path.len()`.
-    refs: Vec<Vec<RefEntry>>,
-    /// Compacted complaint store: latest round per `(by, about)` pair.
-    store: BTreeMap<(PeerId, PeerId), u64>,
-}
-
-impl PeerNode {
-    /// The peer's identifier.
-    pub fn id(&self) -> PeerId {
-        self.id
-    }
-
-    /// The peer's trie path.
-    pub fn path(&self) -> BitPath {
-        self.path
-    }
-
-    /// Complaints currently stored at this peer (one per `(by, about)`
-    /// pair, carrying the latest round seen).
-    pub fn stored(&self) -> impl ExactSizeIterator<Item = Complaint> + '_ {
-        self.store
-            .iter()
-            .map(|(&(by, about), &round)| Complaint { by, about, round })
-    }
-
-    /// Number of stored complaints (distinct `(by, about)` pairs).
-    pub fn store_len(&self) -> usize {
-        self.store.len()
-    }
-
-    /// Compacting upsert: keeps the latest round per `(by, about)` pair.
-    fn store_insert(&mut self, item: Complaint) {
-        self.store
-            .entry((item.by, item.about))
-            .and_modify(|r| *r = (*r).max(item.round))
-            .or_insert(item.round);
-    }
+impl RefEntry {
+    const VACANT: RefEntry = RefEntry { peer: 0, stamp: 0 };
 }
 
 /// Receipt for an insert: how it travelled.
@@ -184,17 +186,36 @@ impl QueryResult {
     }
 }
 
-/// The distributed trie.
+/// The distributed trie, laid out as a flat struct-of-arrays arena (see
+/// the module docs for the layout rationale).
 #[derive(Debug, Clone)]
 pub struct PGrid {
     cfg: PGridConfig,
-    peers: Vec<PeerNode>,
-    /// Sorted leaf directory: occupied path → dense indices of its
-    /// owners, maintained incrementally as meetings extend paths.
-    leaf_dir: BTreeMap<BitPath, Vec<usize>>,
+    /// `paths[i]` = peer `i`'s trie position (kept after departure for
+    /// diagnostics; departed peers are excluded from the directory).
+    paths: Vec<BitPath>,
+    /// Departure flags: `true` once [`PGrid::leave`] removed the peer.
+    departed: Vec<bool>,
+    /// Number of non-departed peers.
+    live: usize,
+    /// Flat reference arena: peer `i`'s level-`l` bucket occupies
+    /// `refs[(i·D + l)·R .. (i·D + l)·R + ref_len[i·D + l]]` where
+    /// `D = max_depth`, `R = max_refs`.
+    refs: Vec<RefEntry>,
+    /// Occupancy of each `(peer, level)` bucket in the arena.
+    ref_len: Vec<u8>,
+    /// Compacted complaint stores: latest round per `(by, about)` pair.
+    stores: Vec<BTreeMap<(PeerId, PeerId), u64>>,
+    /// Leaf-directory arena: `buckets[path.slot()]` = dense indices of
+    /// the live peers at exactly that path.
+    buckets: Vec<Vec<u32>>,
+    /// `subtree[slot]` = live peers whose path is at or below the slot.
+    subtree: Vec<u32>,
+    /// Number of non-empty directory buckets.
+    occupied: usize,
     /// `dir_pos[i]` = position of peer `i` inside its directory bucket
     /// (makes directory moves O(1) via swap-remove).
-    dir_pos: Vec<usize>,
+    dir_pos: Vec<u32>,
     /// Meeting tick, stamps reference entries for recency eviction.
     clock: u64,
 }
@@ -208,18 +229,28 @@ impl PGrid {
     pub fn build(n: usize, cfg: PGridConfig, rng: &mut SimRng) -> PGrid {
         assert!(n > 0, "need at least one peer");
         cfg.validate();
+        let d = cfg.max_depth as usize;
+        let slots = 1usize << (cfg.max_depth + 1);
         let mut grid = PGrid {
             cfg,
-            peers: (0..n)
-                .map(|i| PeerNode {
-                    id: PeerId(i as u32),
-                    path: BitPath::EMPTY,
-                    refs: Vec::new(),
-                    store: Default::default(),
-                })
-                .collect(),
-            leaf_dir: BTreeMap::from([(BitPath::EMPTY, (0..n).collect())]),
-            dir_pos: (0..n).collect(),
+            paths: vec![BitPath::EMPTY; n],
+            departed: vec![false; n],
+            live: n,
+            refs: vec![RefEntry::VACANT; n * d * cfg.max_refs],
+            ref_len: vec![0; n * d],
+            stores: vec![BTreeMap::new(); n],
+            buckets: {
+                let mut b = vec![Vec::new(); slots];
+                b[BitPath::EMPTY.slot()] = (0..n as u32).collect();
+                b
+            },
+            subtree: {
+                let mut s = vec![0u32; slots];
+                s[BitPath::EMPTY.slot()] = n as u32;
+                s
+            },
+            occupied: 1,
+            dir_pos: (0..n as u32).collect(),
             clock: 0,
         };
         // Phase 1 — split cascade: every round pairs up the peers inside
@@ -231,14 +262,17 @@ impl PGrid {
         for _ in 0..cfg.max_depth {
             grid.bucket_pairing_round(rng);
         }
-        // Phase 2 — global mixing: uniform random meetings fill the
-        // cross-subtree (shallow-level) reference buckets and gossip
-        // them around.
-        let meetings = cfg.meetings_per_peer.saturating_mul(n) / 2;
-        for _ in 0..meetings {
-            let a = rng.index(n);
-            let b = rng.index(n);
-            if a != b {
+        // Phase 2 — global mixing: uniform random meetings between
+        // distinct peers fill the cross-subtree (shallow-level)
+        // reference buckets and gossip them around.
+        if n >= 2 {
+            let meetings = cfg.meetings_per_peer.saturating_mul(n) / 2;
+            for _ in 0..meetings {
+                let a = rng.index(n);
+                let mut b = rng.index(n - 1);
+                if b >= a {
+                    b += 1;
+                }
                 grid.meet(a, b, rng);
             }
         }
@@ -253,18 +287,21 @@ impl PGrid {
     }
 
     /// One cascade round: pair up (shuffled) the members of every bucket
-    /// with at least two peers and run the pairwise meetings.
+    /// with at least two peers and run the pairwise meetings. The bucket
+    /// snapshot is taken up front, in slot (level) order: meetings move
+    /// peers into deeper slots, and freshly split peers must not pair
+    /// again within the same round.
     fn bucket_pairing_round(&mut self, rng: &mut SimRng) {
-        let buckets: Vec<Vec<usize>> = self
-            .leaf_dir
-            .values()
+        let snapshot: Vec<Vec<u32>> = self
+            .buckets
+            .iter()
             .filter(|b| b.len() >= 2)
             .cloned()
             .collect();
-        for mut members in buckets {
+        for mut members in snapshot {
             rng.shuffle(&mut members);
             for pair in members.chunks_exact(2) {
-                self.meet(pair[0], pair[1], rng);
+                self.meet(pair[0] as usize, pair[1] as usize, rng);
             }
         }
     }
@@ -274,19 +311,72 @@ impl PGrid {
         self.cfg
     }
 
-    /// Number of peers.
+    /// Number of peer slots ever allocated (including departed peers —
+    /// dense indices are never reused).
     pub fn len(&self) -> usize {
-        self.peers.len()
+        self.paths.len()
     }
 
     /// Whether the grid has no peers (never true after `build`).
     pub fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.paths.is_empty()
+    }
+
+    /// Number of peers currently in the overlay (not departed).
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the peer at a dense index is still in the overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn is_live(&self, peer: usize) -> bool {
+        !self.departed[peer]
+    }
+
+    /// The trie path of the peer at a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn path(&self, peer: usize) -> BitPath {
+        self.paths[peer]
+    }
+
+    /// Complaints currently stored at a peer (one per `(by, about)`
+    /// pair, carrying the latest round seen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn stored(&self, peer: usize) -> impl ExactSizeIterator<Item = Complaint> + '_ {
+        self.stores[peer]
+            .iter()
+            .map(|(&(by, about), &round)| Complaint { by, about, round })
+    }
+
+    /// Number of complaints stored at a peer (distinct `(by, about)`
+    /// pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn store_len(&self, peer: usize) -> usize {
+        self.stores[peer].len()
     }
 
     /// Number of distinct occupied paths in the leaf directory.
     pub fn leaf_count(&self) -> usize {
-        self.leaf_dir.len()
+        self.occupied
+    }
+
+    /// Total meetings held so far (the reference-stamp clock). Each
+    /// bootstrap, repair or join meeting advances it by exactly one, so
+    /// deltas count executed meetings.
+    pub fn meetings_held(&self) -> u64 {
+        self.clock
     }
 
     /// The defensive routing hop bound: greedy routing resolves at least
@@ -296,47 +386,69 @@ impl PGrid {
         4 * self.cfg.key_bits as u32 + 8
     }
 
-    /// The peer at a dense index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if out of range.
-    pub fn peer(&self, index: usize) -> &PeerNode {
-        &self.peers[index]
+    /// The flat-arena index of peer `peer`'s level-`level` bucket.
+    #[inline]
+    fn bucket_index(&self, peer: usize, level: usize) -> usize {
+        peer * self.cfg.max_depth as usize + level
     }
 
-    /// Iterates over all peers.
-    pub fn iter(&self) -> impl ExactSizeIterator<Item = &PeerNode> + '_ {
-        self.peers.iter()
+    /// Peer `peer`'s level-`level` reference bucket as a slice.
+    #[inline]
+    fn ref_bucket(&self, peer: usize, level: usize) -> &[RefEntry] {
+        let li = self.bucket_index(peer, level);
+        let base = li * self.cfg.max_refs;
+        &self.refs[base..base + self.ref_len[li] as usize]
+    }
+
+    /// Compacting upsert: keeps the latest round per `(by, about)` pair.
+    fn store_insert(&mut self, peer: usize, item: Complaint) {
+        self.stores[peer]
+            .entry((item.by, item.about))
+            .and_modify(|r| *r = (*r).max(item.round))
+            .or_insert(item.round);
+    }
+
+    /// Unions two peers' stores under the compaction rule (latest round
+    /// per pair wins); both end up with the merged store.
+    fn merge_stores(&mut self, a: usize, b: usize) {
+        if self.stores[a].is_empty() && self.stores[b].is_empty() {
+            return;
+        }
+        let taken = std::mem::take(&mut self.stores[a]);
+        let mut merged = std::mem::take(&mut self.stores[b]);
+        for (pair, round) in taken {
+            merged
+                .entry(pair)
+                .and_modify(|r| *r = (*r).max(round))
+                .or_insert(round);
+        }
+        self.stores[a] = merged.clone();
+        self.stores[b] = merged;
     }
 
     /// The pairwise-meeting exchange at the heart of P-Grid construction.
     fn meet(&mut self, a: usize, b: usize, rng: &mut SimRng) {
+        debug_assert!(a != b, "a peer cannot meet itself");
+        debug_assert!(
+            !self.departed[a] && !self.departed[b],
+            "departed peers do not meet"
+        );
         self.clock += 1;
-        let (pa, pb) = (self.peers[a].path, self.peers[b].path);
+        let (pa, pb) = (self.paths[a], self.paths[b]);
         let l = pa.common_prefix(pb);
         if l == pa.len() && l == pb.len() {
-            // Identical paths: split the subspace if depth remains.
+            // Identical paths: the two peers cover the same subspace, so
+            // they union their stores first — after a split, whichever
+            // side ends up responsible for an item keeps a copy — and
+            // then split the subspace if depth remains (at max depth
+            // they stay replicas and the union *is* the sync).
+            self.merge_stores(a, b);
             if pa.len() < self.cfg.max_depth {
                 let bit_a = rng.chance(0.5);
                 self.extend_path(a, bit_a);
                 self.extend_path(b, !bit_a);
                 self.add_ref(a, l, b);
                 self.add_ref(b, l, a);
-            }
-            // At max depth the two peers are replicas: synchronise stores
-            // under the compaction rule (latest round per pair wins).
-            else {
-                let taken = std::mem::take(&mut self.peers[a].store);
-                let mut merged = std::mem::take(&mut self.peers[b].store);
-                for (pair, round) in taken {
-                    merged
-                        .entry(pair)
-                        .and_modify(|r| *r = (*r).max(round))
-                        .or_insert(round);
-                }
-                self.peers[a].store = merged.clone();
-                self.peers[b].store = merged;
             }
         } else if l == pa.len() {
             // a's path is a proper prefix of b's: a specialises to the
@@ -357,64 +469,61 @@ impl PGrid {
         }
         // Reference gossip: share one random reference per common level so
         // tables fill beyond the direct meeting partners.
-        let common = self.peers[a].path.common_prefix(self.peers[b].path);
+        let common = self.paths[a].common_prefix(self.paths[b]) as usize;
         for level in 0..common {
-            let level = level as usize;
-            if let Some(&RefEntry { peer: shared, .. }) = self.peers[a]
-                .refs
-                .get(level)
-                .and_then(|v| rng.pick(v.as_slice()))
-            {
-                self.add_ref(b, level as u8, shared);
+            let shared = rng.pick(self.ref_bucket(a, level)).map(|e| e.peer);
+            if let Some(shared) = shared {
+                self.add_ref(b, level as u8, shared as usize);
             }
-            if let Some(&RefEntry { peer: shared, .. }) = self.peers[b]
-                .refs
-                .get(level)
-                .and_then(|v| rng.pick(v.as_slice()))
-            {
-                self.add_ref(a, level as u8, shared);
+            let shared = rng.pick(self.ref_bucket(b, level)).map(|e| e.peer);
+            if let Some(shared) = shared {
+                self.add_ref(a, level as u8, shared as usize);
             }
         }
     }
 
     fn extend_path(&mut self, peer: usize, bit: bool) {
-        let old = self.peers[peer].path;
-        let node = &mut self.peers[peer];
-        node.path = node.path.child(bit);
-        node.refs.push(Vec::new());
-        let new = self.peers[peer].path;
+        let old = self.paths[peer];
+        let new = old.child(bit);
         self.dir_remove(peer, old);
+        self.paths[peer] = new;
         self.dir_insert(peer, new);
+        // The peer stays inside every ancestor's subtree; only the new
+        // node gains it.
+        self.subtree[new.slot()] += 1;
     }
 
     /// Removes `peer` from its directory bucket in O(1) (positional
     /// swap-remove; the displaced peer's position is patched).
     fn dir_remove(&mut self, peer: usize, path: BitPath) {
-        let bucket = self.leaf_dir.get_mut(&path).expect("peer is indexed");
-        let pos = self.dir_pos[peer];
-        debug_assert_eq!(bucket[pos], peer, "directory position out of sync");
+        let bucket = &mut self.buckets[path.slot()];
+        let pos = self.dir_pos[peer] as usize;
+        debug_assert_eq!(bucket[pos], peer as u32, "directory position out of sync");
         bucket.swap_remove(pos);
         if let Some(&moved) = bucket.get(pos) {
-            self.dir_pos[moved] = pos;
+            self.dir_pos[moved as usize] = pos as u32;
         }
         if bucket.is_empty() {
-            self.leaf_dir.remove(&path);
+            self.occupied -= 1;
         }
     }
 
     fn dir_insert(&mut self, peer: usize, path: BitPath) {
-        let bucket = self.leaf_dir.entry(path).or_default();
-        self.dir_pos[peer] = bucket.len();
-        bucket.push(peer);
+        let bucket = &mut self.buckets[path.slot()];
+        if bucket.is_empty() {
+            self.occupied += 1;
+        }
+        self.dir_pos[peer] = bucket.len() as u32;
+        bucket.push(peer as u32);
     }
 
     fn add_ref(&mut self, peer: usize, level: u8, target: usize) {
-        if peer == target {
+        if peer == target || self.departed[target] {
             return;
         }
         // The invariant: target's path agrees with peer's on `level` bits
         // and (when long enough) differs at bit `level`.
-        let (pp, tp) = (self.peers[peer].path, self.peers[target].path);
+        let (pp, tp) = (self.paths[peer], self.paths[target]);
         if pp.len() <= level || tp.len() <= level {
             return;
         }
@@ -422,42 +531,64 @@ impl PGrid {
             return;
         }
         let max_refs = self.cfg.max_refs;
-        let stamp = self.clock;
-        let bucket = &mut self.peers[peer].refs[level as usize];
-        if let Some(entry) = bucket.iter_mut().find(|e| e.peer == target) {
-            entry.stamp = stamp; // re-confirmed: refresh recency
-            return;
+        let stamp = self.clock as u32;
+        let li = self.bucket_index(peer, level as usize);
+        let base = li * max_refs;
+        let mut len = self.ref_len[li] as usize;
+        // One scan: refresh the target if present, and lazily evict
+        // entries whose peer has departed (order within a bucket is
+        // routing-irrelevant — candidates are sampled uniformly — so
+        // eviction is a positional overwrite from the tail, never a
+        // shift; pinned by the same-seed determinism test).
+        let mut i = 0;
+        while i < len {
+            let e = self.refs[base + i];
+            if self.departed[e.peer as usize] {
+                len -= 1;
+                self.refs[base + i] = self.refs[base + len];
+                continue;
+            }
+            if e.peer as usize == target {
+                self.refs[base + i].stamp = stamp;
+                self.ref_len[li] = len as u8;
+                return;
+            }
+            i += 1;
         }
-        if bucket.len() >= max_refs {
-            // Evict the stalest entry (recency as a liveness proxy).
-            let victim = bucket
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(i, _)| i)
+        if len >= max_refs {
+            // Bucket full: overwrite the stalest entry in place (recency
+            // as a liveness proxy) — O(1) in the slot, replacing the old
+            // `Vec::remove` which shifted the bucket on the bootstrap
+            // hot path.
+            let victim = (0..len)
+                .min_by_key(|&i| self.refs[base + i].stamp)
                 .expect("bucket non-empty");
-            bucket.remove(victim);
+            self.refs[base + victim] = RefEntry {
+                peer: target as u32,
+                stamp,
+            };
+        } else {
+            self.refs[base + len] = RefEntry {
+                peer: target as u32,
+                stamp,
+            };
+            len += 1;
         }
-        bucket.push(RefEntry {
-            peer: target,
-            stamp,
-        });
+        self.ref_len[li] = len as u8;
     }
 
-    /// Dense indices of all peers responsible for `key` (ground truth,
-    /// not a network operation), in ascending index order.
+    /// Dense indices of all live peers responsible for `key` (ground
+    /// truth, not a network operation), in ascending index order.
     ///
-    /// Resolved through the leaf directory: one probe per candidate
-    /// depth, `O(max_depth · log leaves)` instead of the naive full
+    /// Resolved through the leaf-directory arena: one slot probe per
+    /// candidate depth, `O(max_depth)` instead of the naive full
     /// population scan.
     pub fn responsible_peers(&self, key: Key) -> Vec<usize> {
         let w = self.cfg.key_bits;
         let mut out = Vec::new();
         for len in 0..=self.cfg.max_depth {
-            let prefix = BitPath::key_prefix(key, len, w);
-            if let Some(bucket) = self.leaf_dir.get(&prefix) {
-                out.extend_from_slice(bucket);
-            }
+            let bucket = &self.buckets[BitPath::key_prefix(key, len, w).slot()];
+            out.extend(bucket.iter().map(|&i| i as usize));
         }
         out.sort_unstable();
         out
@@ -466,9 +597,10 @@ impl PGrid {
     /// Greedy routing from `origin` towards a peer responsible for `key`.
     ///
     /// Each hop sends one message through `net`; unavailable peers
-    /// (per `alive`, `None` = everyone up) are skipped among the level's
-    /// references. Returns the responsible peer index, hop count and
-    /// accumulated latency, or `None` when routing dead-ends.
+    /// (per `alive`, `None` = everyone up) and departed peers are
+    /// skipped among the level's references. Returns the responsible
+    /// peer index, hop count and accumulated latency, or `None` when
+    /// routing dead-ends.
     pub fn route(
         &self,
         origin: usize,
@@ -478,7 +610,7 @@ impl PGrid {
         rng: &mut SimRng,
     ) -> Option<(usize, u32, SimTime)> {
         let w = self.cfg.key_bits;
-        let up = |i: usize| alive.is_none_or(|a| a[i]);
+        let up = |i: usize| !self.departed[i] && alive.is_none_or(|a| a[i]);
         if !up(origin) {
             return None;
         }
@@ -487,19 +619,25 @@ impl PGrid {
         let mut latency = SimTime::ZERO;
         let hop_limit = self.hop_limit();
         loop {
-            let node = &self.peers[current];
-            if node.path.is_prefix_of_key(key, w) {
+            let path = self.paths[current];
+            if path.is_prefix_of_key(key, w) {
                 return Some((current, hops, latency));
             }
-            let level = node.path.common_prefix_with_key(key, w) as usize;
-            let candidates: Vec<usize> = node
-                .refs
-                .get(level)
-                .map(|v| v.iter().map(|e| e.peer).filter(|&i| up(i)).collect())
-                .unwrap_or_default();
-            let Some(&next) = rng.pick(&candidates) else {
+            let level = path.common_prefix_with_key(key, w) as usize;
+            // Uniform draw over the live candidates without collecting
+            // them: count, then index the same filtered order.
+            let bucket = self.ref_bucket(current, level);
+            let live = bucket.iter().filter(|e| up(e.peer as usize)).count();
+            if live == 0 {
                 return None; // dead end: no live reference at this level
-            };
+            }
+            let pick = rng.index(live);
+            let next = bucket
+                .iter()
+                .filter(|e| up(e.peer as usize))
+                .nth(pick)
+                .expect("picked within the live count")
+                .peer as usize;
             match net.send("route", rng) {
                 Delivery::Delivered(d) => latency += d,
                 Delivery::Dropped => return None,
@@ -552,7 +690,7 @@ impl PGrid {
                     Delivery::Dropped => continue,
                 }
             }
-            self.peers[member].store_insert(item);
+            self.store_insert(member, item);
             reached += 1;
         }
         InsertReceipt {
@@ -588,8 +726,8 @@ impl PGrid {
                     Delivery::Dropped => continue,
                 }
             }
-            let items: Vec<Complaint> = self.peers[member]
-                .stored()
+            let items: Vec<Complaint> = self
+                .stored(member)
                 .filter(|c| {
                     // Only items indexed under the queried key — a peer's
                     // store can hold items for every key in its subspace.
@@ -606,10 +744,169 @@ impl PGrid {
         }
     }
 
+    /// Admits a new peer into the overlay and returns its dense index.
+    ///
+    /// The newcomer starts at the trie root and descends by the regular
+    /// meeting protocol: each meeting with a peer sampled uniformly from
+    /// its current subspace (O(depth) via the subtree counts) extends
+    /// its path by one bit — splitting an equal-path partner, or
+    /// specialising against a deeper one — until it reaches the
+    /// configured depth or is alone in its subspace. Splits hand the
+    /// partner's store to the newcomer (the store union in [`meet`]), and
+    /// a final handoff syncs from its new replica group — or from the
+    /// deepest remaining owner of its subspace — so an admitted peer
+    /// answers queries with the data its group already holds.
+    pub fn join(&mut self, rng: &mut SimRng) -> usize {
+        let d = self.cfg.max_depth as usize;
+        let idx = self.paths.len();
+        assert!(idx < u32::MAX as usize, "dense index space exhausted");
+        self.paths.push(BitPath::EMPTY);
+        self.departed.push(false);
+        self.stores.push(BTreeMap::new());
+        let new_refs = self.refs.len() + d * self.cfg.max_refs;
+        self.refs.resize(new_refs, RefEntry::VACANT);
+        self.ref_len.resize(self.ref_len.len() + d, 0);
+        self.dir_pos.push(0);
+        self.live += 1;
+        self.dir_insert(idx, BitPath::EMPTY);
+        self.subtree[BitPath::EMPTY.slot()] += 1;
+
+        // Descent: every iteration extends the newcomer's path by one
+        // bit, so this loop runs at most `max_depth` times.
+        while self.paths[idx].len() < self.cfg.max_depth {
+            let Some(partner) = self.sample_in_subtree(self.paths[idx], idx, rng) else {
+                break; // alone in the subspace: nobody left to split with
+            };
+            self.meet(idx, partner, rng);
+        }
+
+        // Replica handoff: sync the store from the new group.
+        if let Some(donor) = self.handoff_donor(idx, rng) {
+            if self.paths[donor] == self.paths[idx] {
+                // Same path ⇒ descent stopped at max depth: a full
+                // replica meeting (two-way store union + references).
+                self.meet(idx, donor, rng);
+            } else {
+                // Deepest remaining owner of the newcomer's subspace —
+                // its store covers a superspace, copy it one way.
+                let donor_store = self.stores[donor].clone();
+                for ((by, about), round) in donor_store {
+                    self.store_insert(idx, Complaint { by, about, round });
+                }
+            }
+        }
+        idx
+    }
+
+    /// Samples a uniform peer from the subtree rooted at `path` (peers
+    /// whose path equals or extends it), excluding `exclude` — which
+    /// must itself sit at exactly `path`. O(depth) via the subtree
+    /// counts.
+    fn sample_in_subtree(&self, path: BitPath, exclude: usize, rng: &mut SimRng) -> Option<usize> {
+        debug_assert_eq!(
+            self.paths[exclude], path,
+            "exclude sits at the subtree root"
+        );
+        let total = self.subtree[path.slot()] as usize;
+        if total <= 1 {
+            return None;
+        }
+        let mut r = rng.index(total - 1);
+        // Walk down: at each node the bucket's own members come first
+        // (skipping `exclude`, which only appears in the root bucket),
+        // then the 0-subtree, then the 1-subtree.
+        let mut node = path;
+        loop {
+            let bucket = &self.buckets[node.slot()];
+            let skip = bucket.iter().position(|&m| m as usize == exclude);
+            let local = bucket.len() - usize::from(skip.is_some());
+            if r < local {
+                let mut pos = r;
+                if let Some(s) = skip {
+                    if pos >= s {
+                        pos += 1;
+                    }
+                }
+                return Some(bucket[pos] as usize);
+            }
+            r -= local;
+            assert!(
+                node.len() < self.cfg.max_depth,
+                "subtree counts out of sync with buckets"
+            );
+            let left = node.child(false);
+            let lcount = self.subtree[left.slot()] as usize;
+            node = if r < lcount {
+                left
+            } else {
+                r -= lcount;
+                node.child(true)
+            };
+        }
+    }
+
+    /// The peer a joining newcomer syncs its store from: a random member
+    /// of its own bucket (a replica) when one exists, else a random
+    /// member of the deepest occupied proper prefix of its path — the
+    /// closest remaining owner of its new subspace. `None` when the
+    /// newcomer is the only peer covering its subspace.
+    fn handoff_donor(&self, idx: usize, rng: &mut SimRng) -> Option<usize> {
+        let path = self.paths[idx];
+        let bucket = &self.buckets[path.slot()];
+        if bucket.len() > 1 {
+            let mut pos = rng.index(bucket.len() - 1);
+            if pos >= self.dir_pos[idx] as usize {
+                pos += 1;
+            }
+            return Some(bucket[pos] as usize);
+        }
+        for len in (0..path.len()).rev() {
+            let bucket = &self.buckets[path.prefix(len).slot()];
+            if !bucket.is_empty() {
+                return rng.pick(bucket).map(|&m| m as usize);
+            }
+        }
+        None
+    }
+
+    /// Removes a peer from the overlay: its directory entry disappears
+    /// (it stops being responsible for any key), its subtree counts are
+    /// released along its path prefixes, and its own references and
+    /// store are dropped. References other peers hold to it die lazily:
+    /// routing treats departed peers as permanently down, bucket touches
+    /// evict them opportunistically, and [`PGrid::repair`] sweeps them
+    /// out eagerly. Dense indices are never reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range or already departed.
+    pub fn leave(&mut self, peer: usize) {
+        assert!(!self.departed[peer], "peer {peer} already departed");
+        let path = self.paths[peer];
+        self.dir_remove(peer, path);
+        for len in 0..=path.len() {
+            self.subtree[path.prefix(len).slot()] -= 1;
+        }
+        self.departed[peer] = true;
+        self.live -= 1;
+        self.stores[peer].clear();
+        let d = self.cfg.max_depth as usize;
+        for li in peer * d..(peer + 1) * d {
+            self.ref_len[li] = 0;
+        }
+    }
+
     /// Repairs reference tables after churn: every live peer evicts its
-    /// references to peers `alive` reports down (liveness-aware
-    /// eviction), then `meetings` additional random meetings among live
-    /// peers refill the buckets and re-synchronise replica stores.
+    /// references to peers `alive` reports down or departed
+    /// (liveness-aware eviction), then **exactly** `meetings` additional
+    /// random meetings between distinct live peers refill the buckets
+    /// and re-synchronise replica stores.
+    ///
+    /// The meeting pair is sampled without replacement (second index
+    /// drawn from the remaining positions and shifted over the first),
+    /// so the full meeting budget is always delivered — the old
+    /// draw-with-replacement loop silently dropped every `a == b`
+    /// collision, under-delivering worst for small live populations.
     ///
     /// Down peers keep their state untouched — when they return, the
     /// regular meeting protocol reintegrates them.
@@ -618,48 +915,131 @@ impl PGrid {
     ///
     /// Panics if `alive.len() != self.len()`.
     pub fn repair(&mut self, alive: &[bool], meetings: usize, rng: &mut SimRng) {
-        assert_eq!(alive.len(), self.peers.len(), "mask length mismatch");
-        for (i, node) in self.peers.iter_mut().enumerate() {
-            if !alive[i] {
+        assert_eq!(alive.len(), self.paths.len(), "mask length mismatch");
+        let d = self.cfg.max_depth as usize;
+        let r = self.cfg.max_refs;
+        for peer in 0..self.paths.len() {
+            if !alive[peer] || self.departed[peer] {
                 continue;
             }
-            for bucket in &mut node.refs {
-                bucket.retain(|e| alive[e.peer]);
+            for li in peer * d..(peer + 1) * d {
+                let base = li * r;
+                let mut len = self.ref_len[li] as usize;
+                let mut i = 0;
+                while i < len {
+                    let t = self.refs[base + i].peer as usize;
+                    if !alive[t] || self.departed[t] {
+                        len -= 1;
+                        self.refs[base + i] = self.refs[base + len];
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.ref_len[li] = len as u8;
             }
         }
-        let live: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        let live: Vec<usize> = (0..alive.len())
+            .filter(|&i| alive[i] && !self.departed[i])
+            .collect();
         if live.len() < 2 {
             return;
         }
         for _ in 0..meetings {
-            let a = live[rng.index(live.len())];
-            let b = live[rng.index(live.len())];
-            if a != b {
-                self.meet(a, b, rng);
+            let a = rng.index(live.len());
+            let mut b = rng.index(live.len() - 1);
+            if b >= a {
+                b += 1;
             }
+            self.meet(live[a], live[b], rng);
         }
     }
 
-    /// Distribution of path depths — diagnostics for the bootstrap.
+    /// Distribution of live peers' path depths — diagnostics for the
+    /// bootstrap and for join integration.
     pub fn depth_histogram(&self) -> Vec<usize> {
         let mut h = vec![0usize; self.cfg.max_depth as usize + 1];
-        for p in &self.peers {
-            h[p.path.len() as usize] += 1;
+        for (i, p) in self.paths.iter().enumerate() {
+            if !self.departed[i] {
+                h[p.len() as usize] += 1;
+            }
         }
         h
     }
 
-    /// Fraction of peers whose path reached the configured depth.
+    /// Fraction of live peers whose path reached the configured depth.
     pub fn maturity(&self) -> f64 {
-        if self.peers.is_empty() {
+        if self.live == 0 {
             return 0.0;
         }
         let full = self
-            .peers
+            .paths
             .iter()
-            .filter(|p| p.path.len() == self.cfg.max_depth)
+            .enumerate()
+            .filter(|&(i, p)| !self.departed[i] && p.len() == self.cfg.max_depth)
             .count();
-        full as f64 / self.peers.len() as f64
+        full as f64 / self.live as f64
+    }
+
+    /// Asserts every structural invariant of the flat arena: directory
+    /// membership and `dir_pos` sync, occupied-bucket and subtree
+    /// counts, reference-bucket bounds and the level/divergence contract
+    /// of every entry. Test-suite hook, not part of the public contract.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let n = self.paths.len();
+        let d = self.cfg.max_depth as usize;
+        let mut indexed = 0usize;
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            for (pos, &m) in bucket.iter().enumerate() {
+                let m = m as usize;
+                assert!(!self.departed[m], "departed peer {m} still indexed");
+                assert_eq!(self.paths[m].slot(), slot, "peer {m} in the wrong bucket");
+                assert_eq!(self.dir_pos[m] as usize, pos, "dir_pos out of sync for {m}");
+                indexed += 1;
+            }
+        }
+        assert_eq!(
+            indexed, self.live,
+            "directory must index every live peer once"
+        );
+        assert_eq!(
+            self.occupied,
+            self.buckets.iter().filter(|b| !b.is_empty()).count(),
+            "occupied-bucket count out of sync"
+        );
+        for slot in 1..self.buckets.len() {
+            let children = if (slot << 1) < self.buckets.len() {
+                self.subtree[slot << 1] + self.subtree[(slot << 1) | 1]
+            } else {
+                0
+            };
+            assert_eq!(
+                self.subtree[slot],
+                self.buckets[slot].len() as u32 + children,
+                "subtree count wrong at slot {slot}"
+            );
+        }
+        for peer in 0..n {
+            let plen = self.paths[peer].len();
+            for level in 0..d {
+                let li = peer * d + level;
+                let len = self.ref_len[li] as usize;
+                assert!(len <= self.cfg.max_refs, "bucket over capacity");
+                if self.departed[peer] || level as u8 >= plen {
+                    assert_eq!(len, 0, "peer {peer} level {level} must be empty");
+                    continue;
+                }
+                for e in self.ref_bucket(peer, level) {
+                    let t = e.peer as usize;
+                    assert!(t < n && t != peer, "bad reference target");
+                    let tp = self.paths[t];
+                    assert!(
+                        tp.len() > level as u8 && self.paths[peer].common_prefix(tp) == level as u8,
+                        "peer {peer} level {level} reference {t} violates divergence"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -697,12 +1077,8 @@ mod tests {
         let (g, _, _) = grid(128, 4, 2);
         // 128 peers over 16 leaves: every leaf should have ~8 replicas.
         for leaf in 0..16u32 {
-            let count = g
-                .iter()
-                .filter(|p| {
-                    p.path().len() == 4
-                        && (0..4).all(|i| p.path().bit(i) == ((leaf >> (3 - i)) & 1 == 1))
-                })
+            let count = (0..g.len())
+                .filter(|&i| g.path(i) == BitPath::from_bits(leaf, 4))
                 .count();
             assert!(count >= 1, "leaf {leaf:04b} unpopulated");
         }
@@ -715,22 +1091,11 @@ mod tests {
         for _ in 0..300 {
             let key = Key::from_bits(rng.next_u64() as u32 & 0xFFFF);
             let naive: Vec<usize> = (0..g.len())
-                .filter(|&i| g.peer(i).path().is_prefix_of_key(key, w))
+                .filter(|&i| g.is_live(i) && g.path(i).is_prefix_of_key(key, w))
                 .collect();
             assert_eq!(g.responsible_peers(key), naive, "key {:#x}", key.bits());
         }
-        // Directory invariants: every peer appears in exactly one bucket,
-        // at the position `dir_pos` records, and only occupied paths
-        // have entries.
-        let indexed: usize = g.leaf_dir.values().map(Vec::len).sum();
-        assert_eq!(indexed, g.len());
-        for (path, bucket) in &g.leaf_dir {
-            assert!(!bucket.is_empty(), "empty bucket for {path}");
-            for (pos, &peer) in bucket.iter().enumerate() {
-                assert_eq!(g.peer(peer).path(), *path);
-                assert_eq!(g.dir_pos[peer], pos);
-            }
-        }
+        g.check_invariants();
         // Occupied paths: all 2^d leaves plus possibly a few shallower
         // stragglers — never more than the whole trie.
         assert!(g.leaf_count() < 1 << (g.config().max_depth + 1));
@@ -739,16 +1104,7 @@ mod tests {
     #[test]
     fn reference_buckets_stay_bounded() {
         let (g, _, _) = grid(256, 6, 22);
-        for p in g.iter() {
-            for (level, bucket) in p.refs.iter().enumerate() {
-                assert!(
-                    bucket.len() <= g.config().max_refs,
-                    "peer {} level {level} holds {} refs",
-                    p.id(),
-                    bucket.len()
-                );
-            }
-        }
+        g.check_invariants(); // includes the per-bucket capacity bound
     }
 
     #[test]
@@ -761,9 +1117,7 @@ mod tests {
             match g.route(origin, key, None, &mut net, &mut rng) {
                 Some((peer, _hops, _)) => {
                     assert!(
-                        g.peer(peer)
-                            .path()
-                            .is_prefix_of_key(key, g.config().key_bits),
+                        g.path(peer).is_prefix_of_key(key, g.config().key_bits),
                         "landed on non-responsible peer"
                     );
                 }
@@ -831,7 +1185,9 @@ mod tests {
             "expected multi-replica insert, got {}",
             receipt.replicas_reached
         );
-        let holders = g.iter().filter(|p| p.stored().any(|x| x == c)).count();
+        let holders = (0..g.len())
+            .filter(|&i| g.stored(i).any(|x| x == c))
+            .count();
         assert_eq!(holders, receipt.replicas_reached);
     }
 
@@ -850,11 +1206,11 @@ mod tests {
         for round in [1u64, 5, 3] {
             g.insert(0, key, pair(round), None, &mut net, &mut rng);
         }
-        let holders: Vec<&PeerNode> = g.iter().filter(|p| p.store_len() > 0).collect();
+        let holders: Vec<usize> = (0..g.len()).filter(|&i| g.store_len(i) > 0).collect();
         assert!(!holders.is_empty());
-        for p in holders {
-            assert_eq!(p.store_len(), 1, "store must stay compacted");
-            assert_eq!(p.stored().next().expect("one item"), pair(5));
+        for i in holders {
+            assert_eq!(g.store_len(i), 1, "store must stay compacted");
+            assert_eq!(g.stored(i).next().expect("one item"), pair(5));
         }
         // A different pair is a separate entry.
         g.insert(
@@ -869,7 +1225,7 @@ mod tests {
             &mut net,
             &mut rng,
         );
-        assert!(g.iter().any(|p| p.store_len() == 2));
+        assert!((0..g.len()).any(|i| g.store_len(i) == 2));
     }
 
     #[test]
@@ -895,16 +1251,41 @@ mod tests {
             after >= before && after >= 95,
             "repair should restore routing: {before} -> {after}"
         );
-        // Live peers hold no references to dead peers right after the
-        // eviction pass unless a later meeting gossiped one back in —
-        // either way, the buckets stay bounded.
-        for (i, p) in g.iter().enumerate() {
-            if alive[i] {
-                for bucket in &p.refs {
-                    assert!(bucket.len() <= g.config().max_refs);
-                }
-            }
-        }
+        g.check_invariants();
+    }
+
+    #[test]
+    fn repair_executes_exactly_the_requested_meetings() {
+        // Regression: the old repair drew both endpoints with
+        // replacement and skipped a == b collisions, so fewer than
+        // `meetings` meetings actually happened — acute for small live
+        // populations, where collisions are frequent.
+        let (mut g, mut rng, _) = grid(24, 3, 33);
+        let alive: Vec<bool> = (0..g.len()).map(|i| i % 4 != 0).collect();
+        let before = g.meetings_held();
+        g.repair(&alive, 500, &mut rng);
+        assert_eq!(
+            g.meetings_held() - before,
+            500,
+            "repair must deliver its full meeting budget"
+        );
+        // Tiny live population: collisions would have eaten most of the
+        // budget under sampling with replacement.
+        let mut tiny_alive = vec![false; g.len()];
+        tiny_alive[1] = true;
+        tiny_alive[2] = true;
+        let before = g.meetings_held();
+        g.repair(&tiny_alive, 64, &mut rng);
+        assert_eq!(g.meetings_held() - before, 64);
+        // Fewer than two live peers: nobody to meet, zero meetings.
+        let solo = {
+            let mut m = vec![false; g.len()];
+            m[0] = true;
+            m
+        };
+        let before = g.meetings_held();
+        g.repair(&solo, 64, &mut rng);
+        assert_eq!(g.meetings_held(), before);
     }
 
     #[test]
@@ -945,6 +1326,107 @@ mod tests {
     }
 
     #[test]
+    fn join_descends_to_depth_and_integrates() {
+        let (mut g, mut rng, mut net) = grid(96, 4, 40);
+        let n0 = g.len();
+        let idx = g.join(&mut rng);
+        assert_eq!(idx, n0);
+        assert_eq!(g.len(), n0 + 1);
+        assert_eq!(g.live_len(), n0 + 1);
+        assert!(g.is_live(idx));
+        // 96 peers over 16 leaves: the newcomer always finds partners
+        // all the way down.
+        assert_eq!(g.path(idx).len(), g.config().max_depth);
+        g.check_invariants();
+        // The newcomer is part of the responsible set for keys under its
+        // path, and routing still lands on prefix-owners.
+        for t in 200..260u32 {
+            let key = crate::record::key_for_peer(PeerId(t), g.config().key_bits);
+            if let Some((peer, _, _)) = g.route(idx, key, None, &mut net, &mut rng) {
+                assert!(g.path(peer).is_prefix_of_key(key, g.config().key_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn join_handoff_carries_stored_complaints() {
+        let (mut g, mut rng, mut net) = grid(64, 3, 41);
+        let subject = PeerId(23);
+        let key = crate::record::key_for_peer(subject, g.config().key_bits);
+        let c = Complaint {
+            by: PeerId(4),
+            about: subject,
+            round: 9,
+        };
+        let receipt = g.insert(0, key, c, None, &mut net, &mut rng);
+        assert!(receipt.replicas_reached >= 1);
+        // Every admitted peer that becomes responsible for the key must
+        // hold the complaint (replica handoff), so the query round-trip
+        // keeps the "every answering replica has it" contract.
+        for _ in 0..24 {
+            g.join(&mut rng);
+        }
+        g.check_invariants();
+        let result = g.query(5, key, None, &mut net, &mut rng);
+        assert!(result.is_resolved());
+        for (member, items) in &result.answers {
+            assert!(
+                items.contains(&c),
+                "replica {member} (joined: {}) lost the complaint",
+                *member >= 64
+            );
+        }
+    }
+
+    #[test]
+    fn leave_removes_peer_from_directory_and_routing() {
+        let (mut g, mut rng, mut net) = grid(96, 4, 42);
+        let victim = 17;
+        g.leave(victim);
+        assert!(!g.is_live(victim));
+        assert_eq!(g.live_len(), 95);
+        assert_eq!(g.len(), 96, "dense indices are never reused");
+        g.check_invariants();
+        // Departed peers are neither responsible nor routable.
+        for t in 0..120u32 {
+            let key = crate::record::key_for_peer(PeerId(t), g.config().key_bits);
+            assert!(!g.responsible_peers(key).contains(&victim));
+            if let Some((peer, _, _)) = g.route(3, key, None, &mut net, &mut rng) {
+                assert_ne!(peer, victim, "routing landed on a departed peer");
+            }
+        }
+        assert!(g
+            .route(victim, Key::from_bits(0), None, &mut net, &mut rng)
+            .is_none());
+        assert_eq!(g.store_len(victim), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already departed")]
+    fn double_leave_panics() {
+        let (mut g, _, _) = grid(16, 2, 43);
+        g.leave(3);
+        g.leave(3);
+    }
+
+    #[test]
+    fn join_leave_interleaving_keeps_invariants() {
+        let (mut g, mut rng, _) = grid(48, 3, 44);
+        for step in 0..60usize {
+            if step % 3 == 0 && g.live_len() > 4 {
+                // Leave a random live peer.
+                let live: Vec<usize> = (0..g.len()).filter(|&i| g.is_live(i)).collect();
+                let pick = live[rng.index(live.len())];
+                g.leave(pick);
+            } else {
+                g.join(&mut rng);
+            }
+        }
+        g.check_invariants();
+        assert!(g.live_len() >= 4);
+    }
+
+    #[test]
     fn message_accounting() {
         let (mut g, mut rng, mut net) = grid(64, 4, 9);
         let key = crate::record::key_for_peer(PeerId(1), g.config().key_bits);
@@ -969,11 +1451,25 @@ mod tests {
 
     #[test]
     fn determinism_same_seed() {
-        let (a, _, _) = grid(64, 4, 11);
-        let (b, _, _) = grid(64, 4, 11);
-        for i in 0..64 {
-            assert_eq!(a.peer(i).path(), b.peer(i).path());
+        // Same seed ⇒ identical grids down to the reference arena: paths,
+        // directory, every bucket's exact entry order and stamps. This
+        // pins the in-place stalest-overwrite eviction (bucket order is
+        // routing-irrelevant but must stay deterministic).
+        let (mut a, mut rng_a, _) = grid(64, 4, 11);
+        let (mut b, mut rng_b, _) = grid(64, 4, 11);
+        for _ in 0..8 {
+            a.join(&mut rng_a);
+            b.join(&mut rng_b);
         }
+        a.leave(5);
+        b.leave(5);
+        assert_eq!(a.paths, b.paths);
+        assert_eq!(a.refs, b.refs);
+        assert_eq!(a.ref_len, b.ref_len);
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.subtree, b.subtree);
+        assert_eq!(a.stores, b.stores);
+        assert_eq!(a.clock, b.clock);
     }
 
     #[test]
@@ -981,5 +1477,17 @@ mod tests {
     fn empty_build_panics() {
         let mut rng = SimRng::new(0);
         PGrid::build(0, PGridConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "directory-arena limit")]
+    fn oversized_depth_panics() {
+        let mut rng = SimRng::new(0);
+        let cfg = PGridConfig {
+            key_bits: 32,
+            max_depth: 24,
+            ..PGridConfig::default()
+        };
+        PGrid::build(4, cfg, &mut rng);
     }
 }

@@ -89,13 +89,7 @@ pub struct BitPath {
 
 impl Ord for BitPath {
     fn cmp(&self, other: &BitPath) -> std::cmp::Ordering {
-        // Left-align both bit strings in a u64 (shift ≤ 32, always valid)
-        // so the bitwise comparison is lexicographic; ties on the aligned
-        // bits mean one path prefixes the other — the shorter sorts first.
-        let align = |p: &BitPath| (p.bits as u64) << (32 - p.len as u32);
-        align(self)
-            .cmp(&align(other))
-            .then(self.len.cmp(&other.len))
+        self.packed().cmp(&other.packed())
     }
 }
 
@@ -175,6 +169,23 @@ impl BitPath {
         }
     }
 
+    /// The first `len` bits of the path — its ancestor at that depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn prefix(self, len: u8) -> BitPath {
+        assert!(len <= self.len, "prefix longer than path");
+        BitPath {
+            bits: if len == 0 {
+                0
+            } else {
+                self.bits >> (self.len - len)
+            },
+            len,
+        }
+    }
+
     /// Whether this path is a prefix of the `width`-bit `key`
     /// (equivalently: whether this peer is responsible for the key).
     ///
@@ -201,6 +212,27 @@ impl BitPath {
         let b = (key.bits() as u64) << (64 - width as u32);
         let matched = (a ^ b).leading_zeros().min(32) as u8;
         matched.min(self.len).min(width)
+    }
+
+    /// The whole path bit-packed into one `u64` that sorts in trie
+    /// depth-first (lexicographic) order: the bits left-aligned in the
+    /// high 32 bits, the length in the low byte. Two packed values
+    /// compare equal iff the paths are equal, and `a.packed() <
+    /// b.packed()` iff `a` precedes `b` in DFS order (a prefix sorts
+    /// before its extensions, sibling 0-subtrees before 1-subtrees).
+    pub const fn packed(self) -> u64 {
+        // `bits << (32 - len)` left-aligns the path inside 32 bits; the
+        // shift is ≤ 32 and performed in u64, so it is always valid.
+        (((self.bits as u64) << (32 - self.len as u32)) << 8) | self.len as u64
+    }
+
+    /// The path's index in a heap-layout (level-order) arena over the
+    /// complete binary trie: `(1 << len) | bits`. The root (empty path)
+    /// is slot 1; a trie of depth `d` fits in `1 << (d + 1)` slots; a
+    /// node's children are `slot << 1` and `slot << 1 | 1`. This is the
+    /// O(1) lookup key of the P-Grid's flat leaf-directory arena.
+    pub const fn slot(self) -> usize {
+        (1usize << self.len) | self.bits as usize
     }
 
     /// Length of the common prefix with another path.
@@ -322,6 +354,48 @@ mod tests {
         let mut v = vec![p10, p01, p1, e, p00, p0];
         v.sort();
         assert_eq!(v, vec![e, p0, p00, p01, p1, p10]);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let p = BitPath::from_bits(0b10110, 5);
+        assert_eq!(p.prefix(0), BitPath::EMPTY);
+        assert_eq!(p.prefix(3), BitPath::from_bits(0b101, 3));
+        assert_eq!(p.prefix(5), p);
+        for len in 0..=5u8 {
+            assert_eq!(p.common_prefix(p.prefix(len)), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix longer than path")]
+    fn prefix_past_len_panics() {
+        BitPath::from_bits(0b1, 1).prefix(2);
+    }
+
+    #[test]
+    fn packed_orders_like_cmp_and_slot_is_injective() {
+        // Every path of depth ≤ 6: packed() must induce exactly the
+        // DFS order of `Ord`, and slot() must be a bijection into
+        // [1, 2^(d+1)) with the heap child structure.
+        let mut all = vec![BitPath::EMPTY];
+        for len in 1u8..=6 {
+            for bits in 0..(1u32 << len) {
+                all.push(BitPath::from_bits(bits, len));
+            }
+        }
+        let mut slots = std::collections::HashSet::new();
+        for &p in &all {
+            assert!(p.slot() >= 1 && p.slot() < 1 << 7);
+            assert!(slots.insert(p.slot()), "slot collision for {p}");
+            if p.len() < 6 {
+                assert_eq!(p.child(false).slot(), p.slot() << 1);
+                assert_eq!(p.child(true).slot(), (p.slot() << 1) | 1);
+            }
+            for &q in &all {
+                assert_eq!(p.cmp(&q), p.packed().cmp(&q.packed()), "{p} vs {q}");
+            }
+        }
     }
 
     #[test]

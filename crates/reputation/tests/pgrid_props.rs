@@ -24,11 +24,12 @@ fn build_grid(n: usize, depth: u8, seed: u64) -> (PGrid, SimRng) {
 }
 
 /// The pre-index O(n) full-population scan, pinned as the oracle the
-/// leaf directory must reproduce bit-for-bit.
+/// leaf directory must reproduce bit-for-bit. Departed peers are not
+/// responsible for anything.
 fn naive_responsible(grid: &PGrid, key: Key) -> Vec<usize> {
     let w = grid.config().key_bits;
     (0..grid.len())
-        .filter(|&i| grid.peer(i).path().is_prefix_of_key(key, w))
+        .filter(|&i| grid.is_live(i) && grid.path(i).is_prefix_of_key(key, w))
         .collect()
 }
 
@@ -51,7 +52,7 @@ proptest! {
         let origin = rng.index(grid.len());
         if let Some((peer, hops, _)) = grid.route(origin, key, None, &mut net, &mut rng) {
             prop_assert!(
-                grid.peer(peer).path().is_prefix_of_key(key, grid.config().key_bits),
+                grid.path(peer).is_prefix_of_key(key, grid.config().key_bits),
                 "landed on non-responsible peer {peer}"
             );
             prop_assert!(hops <= grid.hop_limit(), "{hops} hops broke the bound");
@@ -153,9 +154,9 @@ proptest! {
                 stored_rounds.push(round);
             }
         }
-        for peer in grid.iter() {
-            prop_assert!(peer.store_len() <= 1, "store grew past the pair count");
-            if let Some(item) = peer.stored().next() {
+        for peer in 0..grid.len() {
+            prop_assert!(grid.store_len(peer) <= 1, "store grew past the pair count");
+            if let Some(item) = grid.stored(peer).next() {
                 // Compaction keeps a round that was actually inserted,
                 // never older than the latest round this replica saw —
                 // with a full sweep, exactly the global maximum.
@@ -165,6 +166,79 @@ proptest! {
                     prop_assert_eq!(item.round, max_round, "stale round survived");
                 }
             }
+        }
+    }
+
+    /// (d) Membership dynamics keep the directory exact: after an
+    /// arbitrary interleaving of joins and leaves, the leaf index still
+    /// agrees with the naive scan, every structural invariant holds
+    /// (`dir_pos` sync, subtree counts, bucket capacities), and routing
+    /// from any live origin still lands only on live prefix-owners.
+    #[test]
+    fn leaf_index_matches_naive_scan_after_join_leave(
+        n in 4usize..100,
+        depth in 1u8..6,
+        seed in 0u64..100_000,
+        churn in prop::collection::vec(any::<bool>(), 1..40),
+        key_raw in any::<u32>(),
+    ) {
+        let (mut grid, mut rng) = build_grid(n, depth, seed);
+        let mut net = Network::new(NetConfig::default());
+        for &join in &churn {
+            if join || grid.live_len() <= 2 {
+                grid.join(&mut rng);
+            } else {
+                let live: Vec<usize> =
+                    (0..grid.len()).filter(|&i| grid.is_live(i)).collect();
+                grid.leave(live[rng.index(live.len())]);
+            }
+        }
+        grid.check_invariants();
+        let key = Key::from_bits(key_raw & 0xFFFF);
+        // Exact agreement with the naive scan; note coverage itself can
+        // be lost under churn (when a whole replica group departs, its
+        // subspace is orphaned), so unlike the static property there is
+        // no non-emptiness claim here.
+        prop_assert_eq!(grid.responsible_peers(key), naive_responsible(&grid, key));
+        let origin = (0..grid.len()).find(|&i| grid.is_live(i)).expect("live peer");
+        if let Some((peer, hops, _)) = grid.route(origin, key, None, &mut net, &mut rng) {
+            prop_assert!(grid.is_live(peer), "routed to a departed peer");
+            prop_assert!(grid.path(peer).is_prefix_of_key(key, grid.config().key_bits));
+            prop_assert!(hops <= grid.hop_limit());
+        }
+    }
+
+    /// (e) Replica handoff preserves data across admission: an item
+    /// inserted before a wave of joins is still found by a post-churn
+    /// query, on *every* answering replica — including freshly admitted
+    /// peers that became responsible for the key.
+    #[test]
+    fn insert_query_roundtrip_across_handoff(
+        n in 8usize..80,
+        depth in 1u8..5,
+        seed in 0u64..100_000,
+        subject_raw in 0u32..50_000,
+        joins in 1usize..24,
+    ) {
+        let (mut grid, mut rng) = build_grid(n, depth, seed);
+        let mut net = Network::new(NetConfig::default());
+        let subject = PeerId(subject_raw);
+        let key = key_for_peer(subject, grid.config().key_bits);
+        let item = Complaint { by: PeerId(1), about: subject, round: 2 };
+        let receipt = grid.insert(0, key, item, None, &mut net, &mut rng);
+        prop_assume!(receipt.replicas_reached > 0);
+        for _ in 0..joins {
+            grid.join(&mut rng);
+        }
+        grid.check_invariants();
+        let result = grid.query(1, key, None, &mut net, &mut rng);
+        prop_assume!(result.is_resolved());
+        for (member, items) in &result.answers {
+            prop_assert!(
+                items.contains(&item),
+                "replica {member} (admitted post-insert: {}) lost the item",
+                *member >= n
+            );
         }
     }
 }

@@ -22,7 +22,7 @@ proptest! {
         let key = Key::from_bits(key_raw & 0xFFFF);
         let origin = rng.index(grid.len());
         if let Some((peer, hops, _)) = grid.route(origin, key, None, &mut net, &mut rng) {
-            prop_assert!(grid.peer(peer).path().is_prefix_of_key(key, cfg.key_bits));
+            prop_assert!(grid.path(peer).is_prefix_of_key(key, cfg.key_bits));
             prop_assert!(hops <= 4 * cfg.key_bits as u32 + 8);
         }
     }
