@@ -1,0 +1,31 @@
+//! E12 bench: the service replay loop — interleaved query/feedback
+//! streams served through the epoch-swapped trust engine, per model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use trustex_market::prelude::*;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12/replay");
+    let events = 20_000usize;
+    group.throughput(Throughput::Elements(events as u64));
+    for model in ModelKind::ALL {
+        let cfg = ReplayConfig {
+            n_peers: 200,
+            events,
+            window: 1_000,
+            model,
+            threads: 1,
+            ..ReplayConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.label()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(replay(cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

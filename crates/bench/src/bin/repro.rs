@@ -22,11 +22,13 @@
 //! mapping experiment id → milliseconds, so CI can track the perf
 //! trajectory per PR.
 //!
-//! Every table except E2 is a pure function of its seed (bit-identical
-//! for any `--threads`). E2 is the scheduler scaling ladder — greedy to
-//! `n = 10⁶`, indexed sandholm to `n = 10⁵`, the quadratic scan to
-//! `n = 4096`, branch-and-bound to `n = 30` — whose cells are wall-clock
-//! medians and therefore machine-dependent by design.
+//! Every table except E2 and E12 is a pure function of its seed
+//! (bit-identical for any `--threads`). E2 is the scheduler scaling
+//! ladder — greedy to `n = 10⁶`, indexed sandholm to `n = 10⁵`, the
+//! quadratic scan to `n = 4096`, branch-and-bound to `n = 30` — whose
+//! cells are wall-clock medians; E12 is the trust-service replay, whose
+//! count/epoch columns are seed-pinned but whose throughput and latency
+//! percentiles are wall-clock. Both machine-dependent by design.
 
 use std::time::Instant;
 use trustex_bench::timings_to_json;

@@ -81,6 +81,35 @@ pub fn e1_existence(scale: Scale) -> Table {
     table
 }
 
+/// E2 instances are generated in chunked passes: one bulk
+/// [`SimRng::fill_f64`] per chunk instead of 2×10⁶ scalar draws at the
+/// top ladder size.
+const GEN_CHUNK: usize = 8_192;
+
+/// Builds the `n`-item (cost, value) pairs for one E2 ladder rung.
+///
+/// `unit_draws` is a caller-owned scratch buffer of at least
+/// `2 * GEN_CHUNK` slots, reused across rungs, holding interleaved
+/// (cost, value) unit draws per chunk. The arithmetic reproduces
+/// `range_f64(0.5, 20.0)` / `range_f64(0.5, 30.0)` term for term, so
+/// the stream order — and therefore every pinned instance — is
+/// identical to the per-item scalar loop.
+fn instance_pairs(rng: &mut SimRng, n: usize, unit_draws: &mut [f64]) -> Vec<(Money, Money)> {
+    let mut pairs: Vec<(Money, Money)> = Vec::with_capacity(n);
+    while pairs.len() < n {
+        let m = GEN_CHUNK.min(n - pairs.len());
+        let draws = &mut unit_draws[..2 * m];
+        rng.fill_f64(draws);
+        pairs.extend(draws.chunks_exact(2).map(|cv| {
+            (
+                Money::from_f64(0.5 + cv[0] * (20.0 - 0.5)),
+                Money::from_f64(0.5 + cv[1] * (30.0 - 0.5)),
+            )
+        }));
+    }
+    pairs
+}
+
 /// E2 — *Figure R2*: runtime scaling of the schedulers. The ladder runs
 /// the allocation-free greedy hot path to `n = 10⁶`, the indexed
 /// `O(n log n)` Sandholm to `n = 10⁵`, the original `O(n²)` scan (the
@@ -118,15 +147,9 @@ pub fn e2_scaling(scale: Scale) -> Table {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         xs[xs.len() / 2]
     };
+    let mut unit_draws = vec![0.0f64; 2 * GEN_CHUNK];
     for &n in sizes {
-        let pairs: Vec<(Money, Money)> = (0..n)
-            .map(|_| {
-                (
-                    Money::from_f64(rng.range_f64(0.5, 20.0)),
-                    Money::from_f64(rng.range_f64(0.5, 30.0)),
-                )
-            })
-            .collect();
+        let pairs = instance_pairs(&mut rng, n, &mut unit_draws);
         let goods = Goods::new(pairs).expect("non-empty");
         // A margin that makes every instance feasible, so every
         // algorithm does full work.
@@ -309,6 +332,30 @@ mod tests {
             Cell::Num(v) => *v,
             Cell::Int(v) => *v as f64,
             Cell::Text(t) => panic!("expected number, got {t}"),
+        }
+    }
+
+    /// The chunked instance builder must reproduce the original scalar
+    /// `range_f64` loop bit for bit — values AND stream position — at
+    /// sizes below, at, straddling and above the chunk size, drawn
+    /// back-to-back the way the ladder consumes them.
+    #[test]
+    fn chunked_instance_pairs_match_scalar_reference() {
+        let mut batched = SimRng::new(0xE2);
+        let mut scalar = batched.clone();
+        let mut unit_draws = vec![0.0f64; 2 * GEN_CHUNK];
+        for n in [1usize, 16, GEN_CHUNK, GEN_CHUNK + 1, 3 * GEN_CHUNK / 2] {
+            let got = instance_pairs(&mut batched, n, &mut unit_draws);
+            let expected: Vec<(Money, Money)> = (0..n)
+                .map(|_| {
+                    (
+                        Money::from_f64(scalar.range_f64(0.5, 20.0)),
+                        Money::from_f64(scalar.range_f64(0.5, 30.0)),
+                    )
+                })
+                .collect();
+            assert_eq!(got, expected, "n={n}");
+            assert_eq!(batched, scalar, "stream position diverged at n={n}");
         }
     }
 

@@ -12,11 +12,13 @@ use crate::table::Table;
 mod community;
 mod exchange;
 mod pipeline;
+mod service;
 mod storage;
 
 pub use community::{e4_strategies, e5_trust_accuracy, e8_marketplace, e9_convergence};
 pub use exchange::{e1_existence, e2_scaling, e3_relaxation, e7_exposure};
 pub use pipeline::e0_pipeline;
+pub use service::e12_service;
 pub use storage::{e10_ablations, e6_pgrid};
 
 /// How big to run an experiment.
@@ -49,8 +51,9 @@ pub struct Experiment {
     pub run: fn(Scale) -> Table,
 }
 
-/// All experiments in presentation order.
-pub const ALL: [Experiment; 11] = [
+/// All experiments in presentation order. (`e11` is reserved for the
+/// ROADMAP's adversary-zoo robustness frontier.)
+pub const ALL: [Experiment; 12] = [
     Experiment {
         id: "e0",
         title: "Figure R1: reference-model pipeline end-to-end",
@@ -106,6 +109,11 @@ pub const ALL: [Experiment; 11] = [
         title: "Table R4: ablations (policy, gossip, replication, risk)",
         run: e10_ablations,
     },
+    Experiment {
+        id: "e12",
+        title: "Table R5: trust service replay (throughput + latency percentiles)",
+        run: e12_service,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -119,17 +127,18 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(ALL.len(), 11);
+        assert_eq!(ALL.len(), 12);
         let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
     }
 
     #[test]
     fn find_works() {
         assert!(find("e1").is_some());
-        assert!(find("e11").is_none());
+        assert!(find("e11").is_none(), "e11 is reserved, not registered");
+        assert!(find("e12").is_some());
         assert_eq!(find("e0").unwrap().id, "e0");
     }
 

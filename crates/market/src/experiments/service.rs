@@ -1,0 +1,82 @@
+//! Service-shaped experiment: the trust-engine replay (E12).
+
+use super::Scale;
+use crate::population::ModelKind;
+use crate::replay::{replay, ReplayConfig};
+use crate::table::Table;
+
+/// E12 — *Table R5*: the repo's first latency-shaped benchmark. Each
+/// model serves a deterministic stream of interleaved query/feedback
+/// events through the epoch-swapped [`crate::replay`] driver (paper
+/// scale: 4 × 300 000 events over 1000 peers, windows of 4096);
+/// reported are throughput and p50/p99/p999 per-query latency. The
+/// count/epoch columns are bit-identical for any thread count; the
+/// throughput and latency columns are wall-clock and machine-dependent
+/// by design (like E2's runtime ladder).
+pub fn e12_service(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E12: trust service replay (throughput + query latency percentiles)",
+        &[
+            "model",
+            "events",
+            "queries",
+            "feedbacks",
+            "epochs",
+            "kev_s",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+        ],
+    );
+    for model in ModelKind::ALL {
+        let cfg = ReplayConfig {
+            n_peers: scale.pick(60, 1000),
+            events: scale.pick(4_000, 300_000),
+            window: scale.pick(500, 4_096),
+            model,
+            ..ReplayConfig::default()
+        };
+        let r = replay(&cfg);
+        table.push_row(vec![
+            model.label().into(),
+            (r.check.events as i64).into(),
+            (r.check.queries as i64).into(),
+            (r.check.feedbacks as i64).into(),
+            (r.check.epochs as i64).into(),
+            (r.throughput() / 1_000.0).into(),
+            r.p50_us.into(),
+            r.p99_us.into(),
+            r.p999_us.into(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    fn num(cell: &Cell) -> f64 {
+        match cell {
+            Cell::Num(v) => *v,
+            Cell::Int(v) => *v as f64,
+            Cell::Text(t) => panic!("expected number, got {t}"),
+        }
+    }
+
+    #[test]
+    fn e12_covers_every_model_and_balances_counts() {
+        let t = e12_service(Scale::Smoke);
+        assert_eq!(t.rows().len(), ModelKind::ALL.len());
+        for row in t.rows() {
+            let events = num(&row[1]);
+            assert_eq!(events, 4000.0, "{row:?}");
+            assert_eq!(events, num(&row[2]) + num(&row[3]), "{row:?}");
+            assert_eq!(num(&row[4]), 8.0, "4000 events / 500-event windows");
+            assert!(num(&row[5]) > 0.0, "throughput must be positive: {row:?}");
+            // Percentiles are ordered.
+            assert!(num(&row[6]) <= num(&row[7]) && num(&row[7]) <= num(&row[8]));
+        }
+    }
+}

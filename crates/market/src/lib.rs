@@ -5,8 +5,10 @@
 //! application scenarios ([`workload`]), scheduling strategies from
 //! fully-safe to trust-aware to naive ([`strategy`]), the round-based
 //! market loop closing the reference model's feedback cycle ([`sim`]),
-//! accuracy/welfare metrics ([`metrics`]) and the full experiment suite
-//! E0–E10 ([`experiments`]) with text-table rendering ([`table`]).
+//! accuracy/welfare metrics ([`metrics`]), the service replay driver
+//! against the epoch-swapped trust engine ([`replay`]) and the full
+//! experiment suite E0–E10 plus the latency-shaped E12
+//! ([`experiments`]) with text-table rendering ([`table`]).
 //!
 //! ```
 //! use trustex_market::prelude::*;
@@ -27,6 +29,7 @@
 pub mod experiments;
 pub mod metrics;
 pub mod population;
+pub mod replay;
 pub mod sim;
 pub mod strategy;
 pub mod table;
@@ -39,7 +42,8 @@ pub mod prelude {
         accuracy_metrics, cooperation_truth, decision_accuracy, rank_accuracy, trust_mae,
         trust_mae_with_truth, AccuracyMetrics,
     };
-    pub use crate::population::{AnyModel, Community, ModelKind};
+    pub use crate::population::{AnyModel, Community, CommunitySnapshot, ModelKind};
+    pub use crate::replay::{replay, ReplayCheck, ReplayConfig, ReplayReport};
     pub use crate::sim::{MarketConfig, MarketReport, MarketSim, RoundStats};
     pub use crate::strategy::{plan, NoTrade, Strategy};
     pub use crate::table::{Cell, Table};

@@ -6,9 +6,8 @@
 //! its informants.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::Arc;
 use trustex_agents::profile::{AgentProfile, PopulationMix};
-use trustex_netsim::hash::FxBuildHasher;
 use trustex_netsim::rng::SimRng;
 use trustex_trust::baselines::{EwmaTrust, MeanTrust};
 use trustex_trust::beta::BetaTrust;
@@ -51,7 +50,7 @@ impl ModelKind {
     /// model's dense evidence tables are allocated once up front (and
     /// the complaint model learns the population for its median), so
     /// the simulation's record/predict hot paths never grow storage.
-    fn build(self, n: usize) -> AnyModel {
+    pub(crate) fn build(self, n: usize) -> AnyModel {
         match self {
             ModelKind::Beta => AnyModel::Beta(BetaTrust::with_population(n)),
             ModelKind::Complaints => AnyModel::Complaints(ComplaintTrust::with_population(n)),
@@ -121,6 +120,15 @@ impl TrustModel for AnyModel {
             AnyModel::Ewma(m) => m.name(),
         }
     }
+
+    fn prepare_snapshot(&self) {
+        match self {
+            AnyModel::Beta(m) => m.prepare_snapshot(),
+            AnyModel::Complaints(m) => m.prepare_snapshot(),
+            AnyModel::Mean(m) => m.prepare_snapshot(),
+            AnyModel::Ewma(m) => m.prepare_snapshot(),
+        }
+    }
 }
 
 impl AnyModel {
@@ -132,18 +140,114 @@ impl AnyModel {
     }
 }
 
+/// Witness reports awaiting corroboration, stored densely per
+/// evaluator: `queues[evaluator]` holds one entry per subject with
+/// outstanding reports, scanned linearly.
+///
+/// This replaces the old `FxHasher` map keyed on `(evaluator,
+/// subject)`: the per-evaluator queue is a handful of entries (bounded
+/// by the gossip rate between the subject's interactions), so a linear
+/// scan beats hashing on the feedback hot path — and the storage is
+/// indexable by evaluator, the access pattern both the record path and
+/// the snapshot engine's merge phase have. Consumed report buffers are
+/// recycled through a spare pool, so steady-state operation allocates
+/// nothing.
+/// One evaluator's pending queue: `(subject, reports)` entries, where
+/// each report is `(witness, conduct)`.
+type ReportQueue = Vec<(PeerId, Vec<(PeerId, Conduct)>)>;
+
+#[derive(Debug, Default)]
+struct PendingIndex {
+    /// Per-evaluator queues of `(subject, reports)` entries.
+    queues: Vec<ReportQueue>,
+    /// Recycled report buffers.
+    spare: Vec<Vec<(PeerId, Conduct)>>,
+    /// Total queued reports across all evaluators.
+    count: usize,
+}
+
+impl PendingIndex {
+    fn new(n: usize) -> PendingIndex {
+        PendingIndex {
+            queues: (0..n).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// Queues one report from `witness` about `subject` for `evaluator`.
+    fn push(&mut self, evaluator: PeerId, subject: PeerId, witness: PeerId, conduct: Conduct) {
+        let queue = &mut self.queues[evaluator.index()];
+        let at = match queue.iter().position(|(s, _)| *s == subject) {
+            Some(at) => at,
+            None => {
+                queue.push((subject, self.spare.pop().unwrap_or_default()));
+                queue.len() - 1
+            }
+        };
+        queue[at].1.push((witness, conduct));
+        self.count += 1;
+    }
+
+    /// Removes and returns `evaluator`'s queued reports about `subject`
+    /// (insertion order preserved). Return the buffer to
+    /// [`PendingIndex::recycle`] once graded.
+    fn take(&mut self, evaluator: PeerId, subject: PeerId) -> Option<Vec<(PeerId, Conduct)>> {
+        let queue = &mut self.queues[evaluator.index()];
+        let at = queue.iter().position(|(s, _)| *s == subject)?;
+        let (_, reports) = queue.swap_remove(at);
+        self.count -= reports.len();
+        Some(reports)
+    }
+
+    /// Returns a consumed report buffer to the spare pool.
+    fn recycle(&mut self, mut reports: Vec<(PeerId, Conduct)>) {
+        reports.clear();
+        self.spare.push(reports);
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
 /// The community of agents.
+///
+/// Each agent's model sits behind an [`Arc`] so [`Community::snapshot`]
+/// is one pointer clone per agent; writes go through `Arc::make_mut`,
+/// which mutates in place while no snapshot is outstanding and
+/// copy-on-writes exactly the models a retained snapshot still shares.
 #[derive(Debug)]
 pub struct Community {
     profiles: Vec<AgentProfile>,
-    models: Vec<AnyModel>,
-    /// Witness reports awaiting corroboration:
-    /// `(evaluator, subject) → [(witness, claimed conduct)]`.
-    ///
-    /// Point lookups only (insert on delivery, remove on corroboration,
-    /// order-insensitive count) — safe for the fast non-SipHash hasher,
-    /// which takes this ride-along off the record hot path's profile.
-    pending: HashMap<(PeerId, PeerId), Vec<(PeerId, Conduct)>, FxBuildHasher>,
+    models: Vec<Arc<AnyModel>>,
+    /// Witness reports awaiting corroboration.
+    pending: PendingIndex,
+}
+
+/// An immutable view of every agent's trust model, taken with
+/// [`Community::snapshot`].
+///
+/// Reads are bit-identical to the source community's at snapshot time
+/// and stay fixed while the community keeps mutating — the per-round
+/// read view the sharded session executor predicts against, and the
+/// community-level analogue of [`trustex_trust::engine::TrustSnapshot`].
+#[derive(Debug, Clone)]
+pub struct CommunitySnapshot {
+    models: Vec<Arc<AnyModel>>,
+}
+
+impl CommunitySnapshot {
+    /// `evaluator`'s trust estimate of `subject` at snapshot time.
+    pub fn predict(&self, evaluator: PeerId, subject: PeerId) -> TrustEstimate {
+        self.models[evaluator.index()].predict(subject)
+    }
+
+    /// Fills `out[i]` with `evaluator`'s estimate of subject `PeerId(i)`
+    /// in one dense-table sweep.
+    pub fn predict_row_into(&self, evaluator: PeerId, out: &mut [TrustEstimate]) {
+        self.models[evaluator.index()].predict_row_into(out);
+    }
 }
 
 impl Community {
@@ -151,11 +255,21 @@ impl Community {
     /// trust models.
     pub fn new(n: usize, mix: &PopulationMix, kind: ModelKind, rng: &mut SimRng) -> Community {
         let profiles = mix.sample(n, rng);
-        let models = (0..n).map(|_| kind.build(n)).collect();
+        let models = (0..n).map(|_| Arc::new(kind.build(n))).collect();
         Community {
             profiles,
             models,
-            pending: HashMap::default(),
+            pending: PendingIndex::new(n),
+        }
+    }
+
+    /// Takes an immutable snapshot of every agent's model: one `Arc`
+    /// clone per agent, no model data copied. Subsequent community
+    /// writes copy-on-write only the models the snapshot still shares —
+    /// and none at all once the snapshot is dropped.
+    pub fn snapshot(&self) -> CommunitySnapshot {
+        CommunitySnapshot {
+            models: self.models.clone(),
         }
     }
 
@@ -223,22 +337,22 @@ impl Community {
         conduct: Conduct,
         round: u64,
     ) {
-        self.models[evaluator.index()].record_direct(subject, conduct, round);
-        if let Some(reports) = self.pending.remove(&(evaluator, subject)) {
-            for (witness, claimed) in reports {
-                self.models[evaluator.index()].grade_witness(witness, claimed == conduct, round);
+        let model = Arc::make_mut(&mut self.models[evaluator.index()]);
+        model.record_direct(subject, conduct, round);
+        if let Some(reports) = self.pending.take(evaluator, subject) {
+            for &(witness, claimed) in &reports {
+                model.grade_witness(witness, claimed == conduct, round);
             }
+            self.pending.recycle(reports);
         }
     }
 
     /// Delivers a witness report to `target`'s model and queues it for
     /// corroboration.
     pub fn deliver_witness_report(&mut self, target: PeerId, report: WitnessReport) {
-        self.models[target.index()].record_witness(report);
+        Arc::make_mut(&mut self.models[target.index()]).record_witness(report);
         self.pending
-            .entry((target, report.subject))
-            .or_default()
-            .push((report.witness, report.conduct));
+            .push(target, report.subject, report.witness, report.conduct);
     }
 
     /// Iterates over all agent ids.
@@ -249,7 +363,7 @@ impl Community {
     /// Total witness reports queued for corroboration — an observable
     /// delivery count for gossip fan-out tests.
     pub fn pending_report_count(&self) -> usize {
-        self.pending.values().map(Vec::len).sum()
+        self.pending.len()
     }
 }
 
@@ -324,7 +438,70 @@ mod tests {
             panic!("expected beta model");
         }
         // Pending entry consumed.
-        assert!(c.pending.is_empty());
+        assert_eq!(c.pending_report_count(), 0);
+    }
+
+    /// The dense pending index must replay the old map semantics: one
+    /// entry per (evaluator, subject), reports graded in delivery
+    /// order, counts exact, buffers recycled.
+    #[test]
+    fn pending_index_queues_and_takes() {
+        let mut idx = PendingIndex::new(4);
+        assert_eq!(idx.len(), 0);
+        idx.push(PeerId(0), PeerId(2), PeerId(1), Conduct::Honest);
+        idx.push(PeerId(0), PeerId(2), PeerId(3), Conduct::Dishonest);
+        idx.push(PeerId(0), PeerId(3), PeerId(1), Conduct::Honest);
+        idx.push(PeerId(1), PeerId(2), PeerId(0), Conduct::Honest);
+        assert_eq!(idx.len(), 4);
+        // Wrong evaluator or subject: nothing comes out.
+        assert!(idx.take(PeerId(2), PeerId(0)).is_none());
+        assert!(idx.take(PeerId(0), PeerId(1)).is_none());
+        // Delivery order within the pair is preserved.
+        let reports = idx.take(PeerId(0), PeerId(2)).expect("queued");
+        assert_eq!(
+            reports,
+            vec![
+                (PeerId(1), Conduct::Honest),
+                (PeerId(3), Conduct::Dishonest)
+            ]
+        );
+        assert_eq!(idx.len(), 2);
+        idx.recycle(reports);
+        assert_eq!(idx.spare.len(), 1);
+        // The recycled buffer is reused, empty.
+        idx.push(PeerId(3), PeerId(0), PeerId(2), Conduct::Honest);
+        assert!(idx.spare.is_empty());
+        assert_eq!(idx.take(PeerId(3), PeerId(0)).expect("queued").len(), 1);
+    }
+
+    /// A snapshot pins the models at snapshot time: reads equal the
+    /// community's then, and do not move when the community keeps
+    /// learning (copy-on-write isolation).
+    #[test]
+    fn snapshot_reads_are_frozen_at_snapshot_time() {
+        for kind in ModelKind::ALL {
+            let mut c = community(kind);
+            let (a, b) = (PeerId(0), PeerId(1));
+            for r in 0..3 {
+                c.record_direct(a, b, Conduct::Dishonest, r);
+            }
+            let snap = c.snapshot();
+            assert_eq!(snap.predict(a, b), c.predict(a, b), "{kind:?}");
+            let frozen = snap.predict(a, b);
+            // More dishonest evidence moves every model (the complaint
+            // model ignores honest conduct entirely — no complaint is
+            // filed — so honest writes would leave it legitimately
+            // unchanged).
+            for r in 3..8 {
+                c.record_direct(a, b, Conduct::Dishonest, r);
+            }
+            assert_eq!(snap.predict(a, b), frozen, "{kind:?}: snapshot moved");
+            assert_ne!(c.predict(a, b), frozen, "{kind:?}: community stuck");
+            // Row sweeps agree with point reads on the frozen view.
+            let mut row = vec![TrustEstimate::UNKNOWN; c.len()];
+            snap.predict_row_into(a, &mut row);
+            assert_eq!(row[b.index()], frozen, "{kind:?}");
+        }
     }
 
     #[test]

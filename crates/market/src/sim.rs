@@ -27,7 +27,7 @@
 //! the same seed (enforced by the cross-thread determinism tests).
 
 use crate::metrics::{accuracy_metrics, cooperation_truth, trust_mae_with_truth_threads};
-use crate::population::{Community, ModelKind};
+use crate::population::{Community, CommunitySnapshot, ModelKind};
 use crate::strategy::{plan, Strategy};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -316,17 +316,20 @@ impl MarketSim {
         (draws, posts)
     }
 
-    /// Phase 2 worker: plans and executes one session against the trust
-    /// state at round start. Pure in the community (read-only), so any
-    /// number of sessions can run concurrently.
+    /// Phase 2 worker: plans and executes one session against the
+    /// round-start trust epoch. Trust reads go through the immutable
+    /// [`CommunitySnapshot`] (behaviour profiles are construction-fixed
+    /// and read from the community directly), so any number of sessions
+    /// can run concurrently without touching mutable model state.
     fn run_session(
         cfg: &MarketConfig,
         community: &Community,
+        snapshot: &CommunitySnapshot,
         round: u64,
         draw: SessionDraw,
     ) -> SessionOutcome {
-        let s_trust = community.predict(draw.supplier, draw.consumer);
-        let c_trust = community.predict(draw.consumer, draw.supplier);
+        let s_trust = snapshot.predict(draw.supplier, draw.consumer);
+        let c_trust = snapshot.predict(draw.consumer, draw.supplier);
         let sequence = match plan(
             cfg.strategy,
             &draw.deal,
@@ -366,10 +369,15 @@ impl MarketSim {
         // are chunks of consecutive sessions (~4 per worker) so queue
         // traffic amortises over many ~µs sessions; chunk boundaries
         // cannot affect results because execution is pure per session.
+        // Sessions predict against the round-start epoch: a snapshot
+        // taken here and dropped before the merge phase, so the merge's
+        // `Arc::make_mut` writes never pay a copy-on-write clone.
         let (draws, posts) = self.draw_sessions();
         let outcomes: Vec<SessionOutcome> = {
             let cfg = &self.cfg;
             let community = &self.community;
+            let snapshot = self.community.snapshot();
+            let snapshot = &snapshot;
             let chunk_len = draws.len().div_ceil(threads.max(1) * 4).max(1);
             let mut chunks: Vec<Vec<SessionDraw>> = Vec::new();
             let mut rest = draws.into_iter();
@@ -383,7 +391,7 @@ impl MarketSim {
             parallel_map(threads, chunks, |_, chunk| {
                 chunk
                     .into_iter()
-                    .map(|draw| Self::run_session(cfg, community, round, draw))
+                    .map(|draw| Self::run_session(cfg, community, snapshot, round, draw))
                     .collect::<Vec<SessionOutcome>>()
             })
             .into_iter()

@@ -130,6 +130,32 @@ impl Lifecycle {
         self.last_seen[peer] = self.tick;
     }
 
+    /// Follows a [`PGrid::compact`] renumbering: `mapping` is compact's
+    /// return value. Departed peers' activity clocks are dropped and the
+    /// survivors' slide down to their new dense indices, so `touch` and
+    /// stale eviction keep working against the compacted grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` does not cover exactly the peers this
+    /// lifecycle tracks.
+    pub fn compacted(&mut self, mapping: &[Option<u32>]) {
+        assert_eq!(
+            mapping.len(),
+            self.last_seen.len(),
+            "mapping does not match the tracked population"
+        );
+        let mut write = 0usize;
+        for (old, slot) in mapping.iter().enumerate() {
+            if let Some(new) = *slot {
+                debug_assert_eq!(new as usize, write, "compaction preserves order");
+                self.last_seen[write] = self.last_seen[old];
+                write += 1;
+            }
+        }
+        self.last_seen.truncate(write);
+    }
+
     /// Runs one tick: admits eligible tickets up to the budget (backing
     /// off the rest), then evicts stale live peers up to the eviction
     /// budget. Eviction never drops the overlay below two live peers.
@@ -299,6 +325,34 @@ mod tests {
             lc.step(&mut g, &mut rng);
         }
         assert_eq!(g.live_len(), 2, "floor of two live peers");
+    }
+
+    #[test]
+    fn compacted_remaps_staleness_clocks() {
+        let (mut g, mut rng) = grid(12, 9);
+        let cfg = LifecycleConfig {
+            stale_after: 2,
+            max_evictions_per_tick: 12,
+            ..LifecycleConfig::default()
+        };
+        let mut lc = Lifecycle::new(cfg, g.len());
+        // Evict peers 0..4 directly; the rest stay fresh.
+        for p in 0..4 {
+            g.leave(p);
+        }
+        lc.compacted(&g.compact());
+        assert_eq!(g.len(), 8);
+        // The survivors' clocks moved down with them: touching through
+        // the new indices keeps everyone alive through stale sweeps.
+        for _ in 0..6 {
+            for p in 0..g.len() {
+                lc.touch(p);
+            }
+            let r = lc.step(&mut g, &mut rng);
+            assert!(r.evicted.is_empty(), "fresh peers evicted: {r:?}");
+        }
+        assert_eq!(g.live_len(), 8);
+        g.check_invariants();
     }
 
     #[test]

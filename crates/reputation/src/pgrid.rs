@@ -311,8 +311,10 @@ impl PGrid {
         self.cfg
     }
 
-    /// Number of peer slots ever allocated (including departed peers —
-    /// dense indices are never reused).
+    /// Number of peer slots currently allocated, including departed
+    /// peers' tombstones. Dense indices are never reused between
+    /// compactions; [`PGrid::compact`] reclaims the tombstones and
+    /// renumbers (returning the mapping).
     pub fn len(&self) -> usize {
         self.paths.len()
     }
@@ -875,7 +877,8 @@ impl PGrid {
     /// store are dropped. References other peers hold to it die lazily:
     /// routing treats departed peers as permanently down, bucket touches
     /// evict them opportunistically, and [`PGrid::repair`] sweeps them
-    /// out eagerly. Dense indices are never reused.
+    /// out eagerly. The vacated slot stays as a tombstone — dense
+    /// indices are never reused — until [`PGrid::compact`] reclaims it.
     ///
     /// # Panics
     ///
@@ -894,6 +897,106 @@ impl PGrid {
         for li in peer * d..(peer + 1) * d {
             self.ref_len[li] = 0;
         }
+    }
+
+    /// Compacts the arena: departed peers' slots — kept as tombstones by
+    /// [`PGrid::leave`] so dense indices stay stable between compactions
+    /// — are reclaimed, and the surviving peers are renumbered densely
+    /// in their old relative order. All arenas (paths, reference
+    /// buckets, stores, directory) shrink to the live population, so a
+    /// long-running overlay under churn holds memory proportional to
+    /// its *live* size, not its all-time admission count.
+    ///
+    /// Returns the old→new index mapping (`None` for departed slots) so
+    /// callers holding dense indices — the lifecycle layer's activity
+    /// clocks ([`crate::lifecycle::Lifecycle::compacted`]), experiment
+    /// bookkeeping — can follow the renumbering. Reference entries
+    /// pointing at departed peers (lazily evicted otherwise) are
+    /// dropped during the sweep; directory buckets, subtree counts and
+    /// the meeting clock are preserved, so routing behaviour is
+    /// unchanged.
+    pub fn compact(&mut self) -> Vec<Option<u32>> {
+        let n = self.paths.len();
+        let d = self.cfg.max_depth as usize;
+        let r = self.cfg.max_refs;
+        let mut mapping = vec![None; n];
+        let mut next = 0u32;
+        for (old, slot) in mapping.iter_mut().enumerate() {
+            if !self.departed[old] {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        let live = next as usize;
+        debug_assert_eq!(live, self.live, "departure flags out of sync");
+        if live < n {
+            // Slide every surviving peer's rows down in index order (the
+            // destination is always at or before the source, so forward
+            // copies never clobber unread rows).
+            let mut write = 0usize;
+            for (old, slot) in mapping.iter().enumerate().take(n) {
+                if slot.is_none() {
+                    continue;
+                }
+                if write != old {
+                    self.paths[write] = self.paths[old];
+                    self.dir_pos[write] = self.dir_pos[old];
+                    self.stores[write] = std::mem::take(&mut self.stores[old]);
+                    self.refs
+                        .copy_within(old * d * r..(old + 1) * d * r, write * d * r);
+                    self.ref_len.copy_within(old * d..(old + 1) * d, write * d);
+                }
+                write += 1;
+            }
+            self.paths.truncate(live);
+            self.dir_pos.truncate(live);
+            self.stores.truncate(live);
+            self.refs.truncate(live * d * r);
+            self.ref_len.truncate(live * d);
+            self.departed.truncate(live);
+            self.departed.fill(false);
+            // Reclaim, not just truncate: the point of compaction is that
+            // memory tracks the live population.
+            self.paths.shrink_to_fit();
+            self.dir_pos.shrink_to_fit();
+            self.stores.shrink_to_fit();
+            self.refs.shrink_to_fit();
+            self.ref_len.shrink_to_fit();
+            self.departed.shrink_to_fit();
+        }
+        // Renumber reference targets; entries pointing at departed peers
+        // die here (tail overwrite, the bucket-order-irrelevant idiom of
+        // `add_ref`). Vacated tail slots are reset so equal histories
+        // keep bit-identical arenas.
+        for li in 0..live * d {
+            let base = li * r;
+            let orig = self.ref_len[li] as usize;
+            let mut len = orig;
+            let mut i = 0;
+            while i < len {
+                match mapping[self.refs[base + i].peer as usize] {
+                    Some(new) => {
+                        self.refs[base + i].peer = new;
+                        i += 1;
+                    }
+                    None => {
+                        len -= 1;
+                        self.refs[base + i] = self.refs[base + len];
+                    }
+                }
+            }
+            self.refs[base + len..base + orig].fill(RefEntry::VACANT);
+            self.ref_len[li] = len as u8;
+        }
+        // Directory buckets hold only live peers; renumber in place.
+        // Bucket positions are unchanged, so `dir_pos` stays valid, and
+        // subtree counts already track live peers only.
+        for bucket in &mut self.buckets {
+            for member in bucket.iter_mut() {
+                *member = mapping[*member as usize].expect("directory members are live");
+            }
+        }
+        mapping
     }
 
     /// Repairs reference tables after churn: every live peer evicts its
@@ -1427,6 +1530,97 @@ mod tests {
     }
 
     #[test]
+    fn compact_reclaims_departed_slots_and_preserves_behaviour() {
+        let (mut g, mut rng, mut net) = grid(96, 4, 45);
+        let subject = PeerId(31);
+        let key = crate::record::key_for_peer(subject, g.config().key_bits);
+        let c = Complaint {
+            by: PeerId(6),
+            about: subject,
+            round: 2,
+        };
+        g.insert(0, key, c, None, &mut net, &mut rng);
+        for victim in [3usize, 17, 17 + 1, 40, 95] {
+            g.leave(victim);
+        }
+        let responsible_before: Vec<BitPath> = g
+            .responsible_peers(key)
+            .iter()
+            .map(|&i| g.path(i))
+            .collect();
+        let mapping = g.compact();
+        // Mapping shape: departed slots are None, survivors are renumbered
+        // densely in their old order.
+        assert_eq!(mapping.len(), 96);
+        assert!([3usize, 17, 18, 40, 95]
+            .iter()
+            .all(|&v| mapping[v].is_none()));
+        let survivors: Vec<u32> = mapping.iter().filter_map(|m| *m).collect();
+        assert_eq!(survivors, (0..91).collect::<Vec<u32>>());
+        assert_eq!(g.len(), 91, "tombstones reclaimed");
+        assert_eq!(g.live_len(), 91);
+        g.check_invariants();
+        // The same replica group (by path) serves the key, and the stored
+        // complaint survived the renumbering.
+        let responsible_after: Vec<BitPath> = g
+            .responsible_peers(key)
+            .iter()
+            .map(|&i| g.path(i))
+            .collect();
+        assert_eq!(responsible_after, responsible_before);
+        let result = g.query(1, key, None, &mut net, &mut rng);
+        assert!(result.is_resolved());
+        assert!(result.answers.iter().any(|(_, items)| items.contains(&c)));
+        // Compacting an all-live grid is the identity.
+        let idmap = g.compact();
+        assert!(idmap.iter().enumerate().all(|(i, m)| *m == Some(i as u32)));
+        assert_eq!(g.len(), 91);
+    }
+
+    /// The bounded-memory contract under long-running churn: with a
+    /// compaction every cycle, the arena never grows past the live
+    /// population plus one cycle's admissions — it does NOT accumulate
+    /// the all-time join count (which reaches 10× the population here).
+    #[test]
+    fn long_churn_with_compaction_keeps_arena_bounded() {
+        let (mut g, mut rng, mut net) = grid(64, 4, 46);
+        let per_cycle = 16usize;
+        for _ in 0..40 {
+            for _ in 0..per_cycle {
+                g.join(&mut rng);
+            }
+            for _ in 0..per_cycle {
+                let live: Vec<usize> = (0..g.len()).filter(|&i| g.is_live(i)).collect();
+                g.leave(live[rng.index(live.len())]);
+            }
+            let mapping = g.compact();
+            assert_eq!(g.len(), g.live_len(), "no tombstones survive a compact");
+            assert!(
+                g.len() <= 64 + per_cycle,
+                "arena grew past live + one cycle: {}",
+                g.len()
+            );
+            assert_eq!(mapping.iter().filter(|m| m.is_some()).count(), g.len());
+            // The ordinary churn response: a repair round against the
+            // freshly compacted (renumbered) arena.
+            g.repair(&vec![true; g.len()], g.len(), &mut rng);
+        }
+        g.check_invariants();
+        // 640 joins later the overlay still routes.
+        let mut resolved = 0;
+        for t in 0..60u32 {
+            let key = crate::record::key_for_peer(PeerId(t), g.config().key_bits);
+            if g.route(0, key, None, &mut net, &mut rng).is_some() {
+                resolved += 1;
+            }
+        }
+        assert!(
+            resolved >= 55,
+            "routing degraded under churn: {resolved}/60"
+        );
+    }
+
+    #[test]
     fn message_accounting() {
         let (mut g, mut rng, mut net) = grid(64, 4, 9);
         let key = crate::record::key_for_peer(PeerId(1), g.config().key_bits);
@@ -1463,6 +1657,7 @@ mod tests {
         }
         a.leave(5);
         b.leave(5);
+        assert_eq!(a.compact(), b.compact());
         assert_eq!(a.paths, b.paths);
         assert_eq!(a.refs, b.refs);
         assert_eq!(a.ref_len, b.ref_len);

@@ -388,6 +388,13 @@ impl TrustModel for ComplaintTrust {
     fn name(&self) -> &'static str {
         "complaints"
     }
+
+    fn prepare_snapshot(&self) {
+        // Force the lazy median recompute now: clones made afterwards
+        // (snapshot epochs) start with a clean cache, so their readers
+        // only ever do atomic loads — never the scratch-buffer mutex.
+        self.median_product();
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ pub mod baselines;
 pub mod beta;
 pub mod complaints;
 pub mod confidence;
+pub mod engine;
 pub mod model;
 mod table;
 
@@ -48,5 +49,6 @@ pub mod prelude {
     pub use crate::beta::{BetaConfig, BetaTrust};
     pub use crate::complaints::{Assessment, ComplaintConfig, ComplaintTrust};
     pub use crate::confidence::{chernoff_half_width, chernoff_sample_size};
+    pub use crate::engine::{TrustEngine, TrustEvent, TrustSnapshot};
     pub use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
 }

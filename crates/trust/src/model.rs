@@ -153,6 +153,15 @@ pub trait TrustModel {
 
     /// Stable model name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Seals lazily cached values before the model is frozen into an
+    /// immutable snapshot (see [`crate::engine`]).
+    ///
+    /// Must not change any prediction — it only forces deferred work
+    /// (e.g. the complaint model's dirty median) to happen *now*, on
+    /// the write side, so concurrent snapshot readers get pure table
+    /// reads. The default is a no-op: most models keep no caches.
+    fn prepare_snapshot(&self) {}
 }
 
 #[cfg(test)]
