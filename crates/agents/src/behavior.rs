@@ -36,6 +36,16 @@ pub enum ExchangeBehavior {
         /// Rounds of honest behaviour before turning.
         honest_rounds: u64,
     },
+    /// Alternates phases on a fixed cycle: honest for `period −
+    /// defect_rounds` rounds to rebuild reputation, then striking like
+    /// `Rational { stake: 0 }` for `defect_rounds` rounds — the
+    /// oscillating attacker that milks decayed or short-memory trust.
+    Oscillating {
+        /// Cycle length in rounds (≥ 1).
+        period: u64,
+        /// Defecting rounds at the end of each cycle (≤ `period`).
+        defect_rounds: u64,
+    },
 }
 
 impl ExchangeBehavior {
@@ -58,6 +68,14 @@ impl ExchangeBehavior {
             }
             ExchangeBehavior::Stochastic { defect_prob } => 1.0 - defect_prob,
             ExchangeBehavior::ExitScam { .. } => 0.0,
+            ExchangeBehavior::Oscillating {
+                period,
+                defect_rounds,
+            } => {
+                // Long-run honest share of the cycle.
+                let period = period.max(1);
+                (period - defect_rounds.min(period)) as f64 / period as f64
+            }
         }
     }
 
@@ -74,6 +92,7 @@ impl ExchangeBehavior {
             ExchangeBehavior::Rational { .. } => "rational",
             ExchangeBehavior::Stochastic { .. } => "stochastic",
             ExchangeBehavior::ExitScam { .. } => "exit-scam",
+            ExchangeBehavior::Oscillating { .. } => "oscillating",
         }
     }
 
@@ -118,6 +137,16 @@ impl DefectionOracle for BehaviorOracle<'_> {
             }
             ExchangeBehavior::ExitScam { honest_rounds } => {
                 self.round >= honest_rounds
+                    && temptation.is_positive()
+                    && temptation >= max_future_temptation(role, view, upcoming)
+            }
+            ExchangeBehavior::Oscillating {
+                period,
+                defect_rounds,
+            } => {
+                let period = period.max(1);
+                let in_defect_phase = self.round % period >= period - defect_rounds.min(period);
+                in_defect_phase
                     && temptation.is_positive()
                     && temptation >= max_future_temptation(role, view, upcoming)
             }
@@ -219,6 +248,32 @@ mod tests {
         assert!(!execute(&d, &seq, &mut HonestOracle, &mut late)
             .status
             .is_completed());
+    }
+
+    #[test]
+    fn oscillator_strikes_only_in_its_defect_phase() {
+        let d = deal();
+        let seq = plan(&d, 2);
+        let behavior = ExchangeBehavior::Oscillating {
+            period: 8,
+            defect_rounds: 3,
+        };
+        // Rounds 0..5 of each cycle are honest, 5..8 defect.
+        for round in 0..16u64 {
+            let mut rng = SimRng::new(1);
+            let mut oracle = behavior.oracle(round, &mut rng);
+            let completed = execute(&d, &seq, &mut HonestOracle, &mut oracle)
+                .status
+                .is_completed();
+            assert_eq!(
+                completed,
+                round % 8 < 5,
+                "round {round}: completed={completed}"
+            );
+        }
+        assert!((behavior.true_cooperation_prob() - 5.0 / 8.0).abs() < 1e-12);
+        assert!(!behavior.is_fundamentally_honest());
+        assert_eq!(behavior.label(), "oscillating");
     }
 
     #[test]

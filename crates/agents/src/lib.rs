@@ -13,18 +13,24 @@
 //!   can score trust models against reality.
 //!
 //! [`profile::PopulationMix`] samples whole communities deterministically
-//! for the experiment suite.
+//! for the experiment suite, and [`adversary`] packages *coordinated*
+//! attacks — collusion rings, targeted slander cells, Sybil
+//! amplification, oscillating defectors and whitewashers — as
+//! composable profiles that degrade to the independent baselines at
+//! coordination level zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod behavior;
 pub mod profile;
 pub mod reporting;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::adversary::{mix_of, zoo_mix, Adversary, Faction};
     pub use crate::behavior::{BehaviorOracle, ExchangeBehavior};
     pub use crate::profile::{AgentProfile, PopulationMix};
-    pub use crate::reporting::ReportingBehavior;
+    pub use crate::reporting::{Campaign, ReportingBehavior};
 }

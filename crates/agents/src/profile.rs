@@ -4,6 +4,7 @@
 //! [`PopulationMix`] describes the composition of a community and samples
 //! concrete populations deterministically.
 
+use crate::adversary::Faction;
 use crate::behavior::ExchangeBehavior;
 use crate::reporting::ReportingBehavior;
 use serde::{Deserialize, Serialize};
@@ -16,6 +17,9 @@ pub struct AgentProfile {
     pub exchange: ExchangeBehavior,
     /// Behaviour towards the reputation system.
     pub reporting: ReportingBehavior,
+    /// Coordinated-campaign membership ([`Faction::None`] for every
+    /// independent profile).
+    pub faction: Faction,
 }
 
 impl AgentProfile {
@@ -24,6 +28,7 @@ impl AgentProfile {
         AgentProfile {
             exchange: ExchangeBehavior::Honest,
             reporting: ReportingBehavior::Truthful,
+            faction: Faction::None,
         }
     }
 
@@ -32,6 +37,7 @@ impl AgentProfile {
         AgentProfile {
             exchange: ExchangeBehavior::Stochastic { defect_prob },
             reporting: ReportingBehavior::Liar,
+            faction: Faction::None,
         }
     }
 }
@@ -87,6 +93,7 @@ impl PopulationMix {
                 AgentProfile {
                     exchange: ExchangeBehavior::Rational { stake_micros: 0 },
                     reporting: ReportingBehavior::Truthful,
+                    faction: Faction::None,
                 },
             ));
             if l > 0.0 {
@@ -95,6 +102,7 @@ impl PopulationMix {
                     AgentProfile {
                         exchange: ExchangeBehavior::Rational { stake_micros: 0 },
                         reporting: ReportingBehavior::Liar,
+                        faction: Faction::None,
                     },
                 ));
             }

@@ -1,0 +1,50 @@
+//! E11 bench: one coordinated-attack market arm per trust model.
+//!
+//! Times a single zoo simulation (full zoo, maximum coordination,
+//! defenses on) — the unit the e11 frontier fans across the pool — so
+//! regressions in the campaign dispatch, Sybil echo or whitewash sweep
+//! show up before they multiply across the whole table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_agents::adversary::zoo_mix;
+use trustex_market::prelude::*;
+
+fn zoo_cfg(model: ModelKind) -> MarketConfig {
+    MarketConfig {
+        n_agents: 60,
+        rounds: 8,
+        sessions_per_round: 60,
+        workload: Workload::FileSharing,
+        mix: zoo_mix(0.3, 1.0),
+        model,
+        defense: DefenseConfig {
+            scorer_weighted: true,
+            report_rate_cap: Some(8),
+        },
+        threads: 1,
+        seed: 17,
+        ..MarketConfig::default()
+    }
+}
+
+fn bench_zoo_arm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11/zoo_arm");
+    group.sample_size(20);
+    for model in ModelKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.label()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    let report = MarketSim::new(zoo_cfg(model)).run();
+                    black_box(report.welfare_per_session())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoo_arm);
+criterion_main!(benches);

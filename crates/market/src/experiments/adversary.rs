@@ -1,0 +1,200 @@
+//! The adversary-zoo robustness frontier (E11).
+//!
+//! The paper's trust models were evaluated against *independent* liars
+//! and defectors; this experiment measures what coordination buys an
+//! attacker. The full zoo ([`trustex_agents::adversary`]) — collusion
+//! rings, targeted slander cells, Sybil amplification, oscillating
+//! defectors and whitewashers — is swept over attacker fraction ×
+//! coordination level, with the community defenses
+//! ([`crate::population::DefenseConfig`]) off and on, for every trust
+//! model. Market efficiency is reported relative to the clean-market arm
+//! of the same (model, defense), so the frontier reads directly as
+//! "fraction of welfare the attack destroys".
+
+use super::community::run_arms;
+use super::Scale;
+use crate::population::{DefenseConfig, ModelKind};
+use crate::sim::MarketConfig;
+use crate::table::Table;
+use crate::workload::Workload;
+use trustex_agents::adversary::zoo_mix;
+
+fn base_cfg(scale: Scale) -> MarketConfig {
+    MarketConfig {
+        n_agents: scale.pick(40, 150),
+        rounds: scale.pick(8, 40),
+        sessions_per_round: scale.pick(40, 150),
+        workload: Workload::FileSharing,
+        seed: 17,
+        ..MarketConfig::default()
+    }
+}
+
+/// E11 — *Table R6*: rank/decision accuracy and market efficiency per
+/// trust model as the adversary zoo scales in size (attacker fraction)
+/// and coordination, with defenses off and on.
+pub fn e11_adversaries(scale: Scale) -> Table {
+    let fractions: &[f64] = scale.pick(&[0.0, 0.3][..], &[0.0, 0.1, 0.2, 0.3, 0.45][..]);
+    let coordinations: &[f64] = scale.pick(&[0.0, 1.0][..], &[0.0, 0.5, 1.0][..]);
+    let defenses = [
+        ("off", DefenseConfig::default()),
+        (
+            "on",
+            DefenseConfig {
+                scorer_weighted: true,
+                report_rate_cap: Some(8),
+            },
+        ),
+    ];
+    let mut table = Table::new(
+        "E11: adversary-zoo robustness frontier (attacker fraction × coordination)",
+        &[
+            "model",
+            "defense",
+            "attackers",
+            "coordination",
+            "rank_acc",
+            "decision_acc",
+            "welfare/sess",
+            "honest_losses/sess",
+            "efficiency",
+        ],
+    );
+    let mut labels = Vec::new();
+    let mut arms = Vec::new();
+    for model in ModelKind::ALL {
+        for (defense_label, defense) in defenses {
+            for &frac in fractions {
+                // A clean market has no one to coordinate: one arm.
+                let coords: &[f64] = if frac == 0.0 { &[0.0] } else { coordinations };
+                for &coordination in coords {
+                    labels.push((model, defense_label, frac, coordination));
+                    arms.push(MarketConfig {
+                        mix: zoo_mix(frac, coordination),
+                        model,
+                        defense,
+                        ..base_cfg(scale)
+                    });
+                }
+            }
+        }
+    }
+    let reports = run_arms(arms);
+    // Clean-market welfare per (model, defense): the frac = 0 arm leads
+    // its block, so a linear scan fills the reference before any row
+    // that divides by it.
+    let mut reference: Vec<((ModelKind, &str), f64)> = Vec::new();
+    for ((model, defense_label, frac, _), r) in labels.iter().zip(&reports) {
+        if *frac == 0.0 {
+            reference.push(((*model, defense_label), r.welfare_per_session()));
+        }
+    }
+    let clean_welfare = |model: ModelKind, defense_label: &str| {
+        reference
+            .iter()
+            .find(|((m, d), _)| *m == model && *d == defense_label)
+            .map(|(_, w)| *w)
+            .expect("fraction sweep starts at 0")
+    };
+    for ((model, defense_label, frac, coordination), r) in labels.iter().zip(&reports) {
+        let baseline = clean_welfare(*model, defense_label);
+        let welfare = r.welfare_per_session();
+        let efficiency = if baseline > 0.0 {
+            welfare / baseline
+        } else {
+            0.0
+        };
+        let sessions = r.sessions.max(1) as f64;
+        table.push_row(vec![
+            model.label().into(),
+            (*defense_label).into(),
+            (*frac).into(),
+            (*coordination).into(),
+            r.final_rank_accuracy.into(),
+            r.final_decision_accuracy.into(),
+            welfare.into(),
+            (r.honest_losses / sessions).into(),
+            efficiency.into(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    fn num(cell: &Cell) -> f64 {
+        match cell {
+            Cell::Num(v) => *v,
+            Cell::Int(v) => *v as f64,
+            Cell::Text(t) => panic!("expected number, got {t}"),
+        }
+    }
+
+    fn text(cell: &Cell) -> &str {
+        match cell {
+            Cell::Text(t) => t,
+            other => panic!("expected text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn e11_covers_the_full_frontier() {
+        let t = e11_adversaries(Scale::Smoke);
+        // 4 models × 2 defenses × (1 clean + 1 fraction × 2 coords).
+        assert_eq!(t.rows().len(), 4 * 2 * 3);
+        for model in ModelKind::ALL {
+            for defense in ["off", "on"] {
+                let rows = t
+                    .rows()
+                    .iter()
+                    .filter(|r| text(&r[0]) == model.label() && text(&r[1]) == defense)
+                    .count();
+                assert_eq!(rows, 3, "{model:?}/{defense}");
+            }
+        }
+    }
+
+    #[test]
+    fn e11_clean_market_efficiency_is_unity() {
+        let t = e11_adversaries(Scale::Smoke);
+        for row in t.rows() {
+            if num(&row[2]) == 0.0 {
+                assert!(
+                    (num(&row[8]) - 1.0).abs() < 1e-12,
+                    "clean arm must be its own reference: {row:?}"
+                );
+            }
+            assert!(num(&row[8]).is_finite());
+            assert!((0.0..=1.0).contains(&num(&row[4])), "rank acc: {row:?}");
+            assert!((0.0..=1.0).contains(&num(&row[5])), "decision acc: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e11_the_zoo_actually_hurts() {
+        let t = e11_adversaries(Scale::Smoke);
+        let row = |defense: &str, frac: f64, coord: f64| {
+            t.rows()
+                .iter()
+                .find(|r| {
+                    text(&r[0]) == "mean"
+                        && text(&r[1]) == defense
+                        && (num(&r[2]) - frac).abs() < 1e-9
+                        && (num(&r[3]) - coord).abs() < 1e-9
+                })
+                .expect("row present")
+        };
+        let clean = row("off", 0.0, 0.0);
+        let attacked = row("off", 0.3, 1.0);
+        // A clean market decides perfectly and honest agents lose
+        // nothing; a coordinated 30% attack must visibly cost both.
+        assert_eq!(num(&clean[5]), 1.0, "clean decision accuracy");
+        assert_eq!(num(&clean[7]), 0.0, "clean honest losses");
+        assert!(num(&attacked[5]) < 1.0, "attacked decision accuracy");
+        assert!(num(&attacked[7]) > 0.0, "attacked honest losses");
+        assert!(num(&attacked[8]) < 1.0, "attacked efficiency");
+    }
+}

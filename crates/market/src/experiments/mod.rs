@@ -9,12 +9,14 @@
 
 use crate::table::Table;
 
+mod adversary;
 mod community;
 mod exchange;
 mod pipeline;
 mod service;
 mod storage;
 
+pub use adversary::e11_adversaries;
 pub use community::{e4_strategies, e5_trust_accuracy, e8_marketplace, e9_convergence};
 pub use exchange::{e1_existence, e2_scaling, e3_relaxation, e7_exposure};
 pub use pipeline::e0_pipeline;
@@ -51,9 +53,8 @@ pub struct Experiment {
     pub run: fn(Scale) -> Table,
 }
 
-/// All experiments in presentation order. (`e11` is reserved for the
-/// ROADMAP's adversary-zoo robustness frontier.)
-pub const ALL: [Experiment; 12] = [
+/// All experiments in presentation order.
+pub const ALL: [Experiment; 13] = [
     Experiment {
         id: "e0",
         title: "Figure R1: reference-model pipeline end-to-end",
@@ -110,6 +111,11 @@ pub const ALL: [Experiment; 12] = [
         run: e10_ablations,
     },
     Experiment {
+        id: "e11",
+        title: "Table R6: adversary-zoo robustness frontier",
+        run: e11_adversaries,
+    },
+    Experiment {
         id: "e12",
         title: "Table R5: trust service replay (throughput + latency percentiles)",
         run: e12_service,
@@ -127,17 +133,20 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(ALL.len(), 12);
+        assert_eq!(ALL.len(), 13);
         let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
     }
 
     #[test]
     fn find_works() {
         assert!(find("e1").is_some());
-        assert!(find("e11").is_none(), "e11 is reserved, not registered");
+        assert!(
+            find("e11").is_some(),
+            "the adversary frontier is registered"
+        );
         assert!(find("e12").is_some());
         assert_eq!(find("e0").unwrap().id, "e0");
     }

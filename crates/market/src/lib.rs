@@ -7,8 +7,9 @@
 //! market loop closing the reference model's feedback cycle ([`sim`]),
 //! accuracy/welfare metrics ([`metrics`]), the service replay driver
 //! against the epoch-swapped trust engine ([`replay`]) and the full
-//! experiment suite E0–E10 plus the latency-shaped E12
-//! ([`experiments`]) with text-table rendering ([`table`]).
+//! experiment suite E0–E12 — including the adversary-zoo robustness
+//! frontier E11 and the latency-shaped E12 — ([`experiments`]) with
+//! text-table rendering ([`table`]).
 //!
 //! ```
 //! use trustex_market::prelude::*;
@@ -42,7 +43,7 @@ pub mod prelude {
         accuracy_metrics, cooperation_truth, decision_accuracy, rank_accuracy, trust_mae,
         trust_mae_with_truth, AccuracyMetrics,
     };
-    pub use crate::population::{AnyModel, Community, CommunitySnapshot, ModelKind};
+    pub use crate::population::{AnyModel, Community, CommunitySnapshot, DefenseConfig, ModelKind};
     pub use crate::replay::{replay, ReplayCheck, ReplayConfig, ReplayReport};
     pub use crate::sim::{MarketConfig, MarketReport, MarketSim, RoundStats};
     pub use crate::strategy::{plan, NoTrade, Strategy};

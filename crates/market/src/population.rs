@@ -10,9 +10,27 @@ use std::sync::Arc;
 use trustex_agents::profile::{AgentProfile, PopulationMix};
 use trustex_netsim::rng::SimRng;
 use trustex_trust::baselines::{EwmaTrust, MeanTrust};
-use trustex_trust::beta::BetaTrust;
-use trustex_trust::complaints::ComplaintTrust;
+use trustex_trust::beta::{BetaConfig, BetaTrust};
+use trustex_trust::complaints::{ComplaintConfig, ComplaintTrust};
 use trustex_trust::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
+
+/// Community-level defenses against coordinated reporting attacks.
+///
+/// Both default to off so every existing experiment replays unchanged;
+/// experiment E11 sweeps them against the adversary zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// Scorer-weighted witness aggregation: every model additionally
+    /// weighs (or gates) witness reports by the evaluator's own honesty
+    /// estimate of the *reporter* (see the per-model `scorer_weighted`
+    /// knobs in `trustex-trust`).
+    pub scorer_weighted: bool,
+    /// Per-reporter cap on witness-report deliveries per round;
+    /// deliveries beyond the cap are dropped community-wide. Throttles
+    /// Sybil amplification and slander floods without touching ordinary
+    /// gossip volumes.
+    pub report_rate_cap: Option<u32>,
+}
 
 /// Which trust model every agent runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -51,11 +69,36 @@ impl ModelKind {
     /// the complaint model learns the population for its median), so
     /// the simulation's record/predict hot paths never grow storage.
     pub(crate) fn build(self, n: usize) -> AnyModel {
+        self.build_defended(n, false)
+    }
+
+    /// Like [`ModelKind::build`] but with the scorer-weighted witness
+    /// aggregation defense toggled per [`DefenseConfig`].
+    pub(crate) fn build_defended(self, n: usize, scorer_weighted: bool) -> AnyModel {
         match self {
-            ModelKind::Beta => AnyModel::Beta(BetaTrust::with_population(n)),
-            ModelKind::Complaints => AnyModel::Complaints(ComplaintTrust::with_population(n)),
-            ModelKind::Mean => AnyModel::Mean(MeanTrust::with_population(n)),
-            ModelKind::Ewma => AnyModel::Ewma(EwmaTrust::with_population(0.2, n)),
+            ModelKind::Beta => {
+                let mut m = BetaTrust::with_config(BetaConfig {
+                    scorer_weighted,
+                    ..BetaConfig::default()
+                });
+                m.ensure_capacity(n);
+                AnyModel::Beta(m)
+            }
+            ModelKind::Complaints => {
+                let mut m = ComplaintTrust::with_config(ComplaintConfig {
+                    scorer_weighted,
+                    ..ComplaintConfig::default()
+                });
+                m.set_population(n);
+                m.ensure_capacity(n);
+                AnyModel::Complaints(m)
+            }
+            ModelKind::Mean => {
+                AnyModel::Mean(MeanTrust::with_population(n).scorer_weighted(scorer_weighted))
+            }
+            ModelKind::Ewma => {
+                AnyModel::Ewma(EwmaTrust::with_population(0.2, n).scorer_weighted(scorer_weighted))
+            }
         }
     }
 }
@@ -118,6 +161,15 @@ impl TrustModel for AnyModel {
             AnyModel::Complaints(m) => m.name(),
             AnyModel::Mean(m) => m.name(),
             AnyModel::Ewma(m) => m.name(),
+        }
+    }
+
+    fn forget_peer(&mut self, peer: PeerId) {
+        match self {
+            AnyModel::Beta(m) => m.forget_peer(peer),
+            AnyModel::Complaints(m) => m.forget_peer(peer),
+            AnyModel::Mean(m) => m.forget_peer(peer),
+            AnyModel::Ewma(m) => m.forget_peer(peer),
         }
     }
 
@@ -206,6 +258,32 @@ impl PendingIndex {
         self.spare.push(reports);
     }
 
+    /// Drops every queued report *about* `peer` and every report *filed
+    /// by* `peer` from other evaluators' queues — the pending-index side
+    /// of a whitewash. The peer's own queue (reports delivered to it
+    /// about others) is kept: the operator retains its knowledge.
+    fn purge(&mut self, peer: PeerId) {
+        for (evaluator, queue) in self.queues.iter_mut().enumerate() {
+            if evaluator == peer.index() {
+                continue;
+            }
+            let mut at = 0;
+            while at < queue.len() {
+                if queue[at].0 == peer {
+                    let (_, mut reports) = queue.swap_remove(at);
+                    self.count -= reports.len();
+                    reports.clear();
+                    self.spare.push(reports);
+                } else {
+                    let before = queue[at].1.len();
+                    queue[at].1.retain(|&(witness, _)| witness != peer);
+                    self.count -= before - queue[at].1.len();
+                    at += 1;
+                }
+            }
+        }
+    }
+
     fn len(&self) -> usize {
         self.count
     }
@@ -223,6 +301,14 @@ pub struct Community {
     models: Vec<Arc<AnyModel>>,
     /// Witness reports awaiting corroboration.
     pending: PendingIndex,
+    /// Active community-level defenses.
+    defense: DefenseConfig,
+    /// Witness-report deliveries per reporter in `rate_round`; only
+    /// consulted when `defense.report_rate_cap` is set.
+    witness_filed: Vec<u32>,
+    /// The round `witness_filed` counts; lazily reset when a report from
+    /// a different round arrives.
+    rate_round: u64,
 }
 
 /// An immutable view of every agent's trust model, taken with
@@ -254,12 +340,28 @@ impl Community {
     /// Samples a community of `n` agents from `mix`, all running `kind`
     /// trust models.
     pub fn new(n: usize, mix: &PopulationMix, kind: ModelKind, rng: &mut SimRng) -> Community {
+        Community::with_defense(n, mix, kind, DefenseConfig::default(), rng)
+    }
+
+    /// Like [`Community::new`] with explicit community-level defenses.
+    pub fn with_defense(
+        n: usize,
+        mix: &PopulationMix,
+        kind: ModelKind,
+        defense: DefenseConfig,
+        rng: &mut SimRng,
+    ) -> Community {
         let profiles = mix.sample(n, rng);
-        let models = (0..n).map(|_| Arc::new(kind.build(n))).collect();
+        let models = (0..n)
+            .map(|_| Arc::new(kind.build_defended(n, defense.scorer_weighted)))
+            .collect();
         Community {
             profiles,
             models,
             pending: PendingIndex::new(n),
+            defense,
+            witness_filed: vec![0; n],
+            rate_round: 0,
         }
     }
 
@@ -348,11 +450,41 @@ impl Community {
     }
 
     /// Delivers a witness report to `target`'s model and queues it for
-    /// corroboration.
-    pub fn deliver_witness_report(&mut self, target: PeerId, report: WitnessReport) {
+    /// corroboration. Returns whether the report was delivered — `false`
+    /// when the per-reporter rate cap (see [`DefenseConfig`]) dropped it.
+    pub fn deliver_witness_report(&mut self, target: PeerId, report: WitnessReport) -> bool {
+        if let Some(cap) = self.defense.report_rate_cap {
+            if report.round != self.rate_round {
+                self.witness_filed.fill(0);
+                self.rate_round = report.round;
+            }
+            let filed = &mut self.witness_filed[report.witness.index()];
+            if *filed >= cap {
+                return false;
+            }
+            *filed += 1;
+        }
         Arc::make_mut(&mut self.models[target.index()]).record_witness(report);
         self.pending
             .push(target, report.subject, report.witness, report.conduct);
+        true
+    }
+
+    /// Executes a whitewash of `agent`: every *other* evaluator forgets
+    /// it (both as a subject and as a witness), its queued reports are
+    /// purged, and its rate-cap budget resets. The agent's own model is
+    /// untouched — the operator behind the identity keeps what it knows
+    /// about the rest of the community.
+    pub fn whitewash(&mut self, agent: PeerId) {
+        for (i, model) in self.models.iter_mut().enumerate() {
+            if i != agent.index() {
+                Arc::make_mut(model).forget_peer(agent);
+            }
+        }
+        self.pending.purge(agent);
+        if let Some(filed) = self.witness_filed.get_mut(agent.index()) {
+            *filed = 0;
+        }
     }
 
     /// Iterates over all agent ids.
@@ -530,6 +662,114 @@ mod tests {
         for kind in ModelKind::ALL {
             let c = community(kind);
             assert_eq!(c.model(PeerId(0)).name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn report_rate_cap_drops_excess_deliveries_per_reporter() {
+        let mut rng = SimRng::new(1);
+        let mix = PopulationMix::standard(0.5, 0.0);
+        let defense = DefenseConfig {
+            report_rate_cap: Some(2),
+            ..DefenseConfig::default()
+        };
+        let mut c = Community::with_defense(20, &mix, ModelKind::Mean, defense, &mut rng);
+        let spammer = PeerId(0);
+        let report = |subject: u32, round: u64| WitnessReport {
+            witness: spammer,
+            subject: PeerId(subject),
+            conduct: Conduct::Dishonest,
+            round,
+        };
+        assert!(c.deliver_witness_report(PeerId(10), report(1, 0)));
+        assert!(c.deliver_witness_report(PeerId(11), report(2, 0)));
+        // Third delivery in the same round: dropped, nothing recorded.
+        assert!(!c.deliver_witness_report(PeerId(12), report(3, 0)));
+        assert_eq!(c.pending_report_count(), 2);
+        assert_eq!(c.predict(PeerId(12), PeerId(3)), TrustEstimate::UNKNOWN);
+        // Another reporter is unaffected by the spammer's budget.
+        assert!(c.deliver_witness_report(
+            PeerId(12),
+            WitnessReport {
+                witness: PeerId(5),
+                subject: PeerId(3),
+                conduct: Conduct::Dishonest,
+                round: 0,
+            }
+        ));
+        // A new round resets the budget.
+        assert!(c.deliver_witness_report(PeerId(13), report(4, 1)));
+    }
+
+    #[test]
+    fn whitewash_erases_the_agent_everywhere_but_home() {
+        for kind in ModelKind::ALL {
+            let mut c = community(kind);
+            let churner = PeerId(3);
+            let observer = PeerId(0);
+            for r in 0..6 {
+                c.record_direct(observer, churner, Conduct::Dishonest, r);
+                c.record_direct(churner, PeerId(7), Conduct::Dishonest, r);
+            }
+            let own_view = c.predict(churner, PeerId(7));
+            assert!(c.predict(observer, churner).p_honest < 0.5, "{kind:?}");
+            c.whitewash(churner);
+            let mut fresh_rng = SimRng::new(9);
+            let cold = Community::new(20, &PopulationMix::standard(0.5, 0.0), kind, &mut fresh_rng)
+                .predict(observer, churner);
+            assert_eq!(c.predict(observer, churner), cold, "{kind:?}: not cold");
+            // The operator keeps its own knowledge of others.
+            assert_eq!(c.predict(churner, PeerId(7)), own_view, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn whitewash_purges_pending_reports_both_ways() {
+        let mut c = community(ModelKind::Beta);
+        let churner = PeerId(3);
+        // A report *about* the churner and a report *by* the churner.
+        c.deliver_witness_report(
+            PeerId(0),
+            WitnessReport {
+                witness: PeerId(1),
+                subject: churner,
+                conduct: Conduct::Dishonest,
+                round: 0,
+            },
+        );
+        c.deliver_witness_report(
+            PeerId(0),
+            WitnessReport {
+                witness: churner,
+                subject: PeerId(5),
+                conduct: Conduct::Dishonest,
+                round: 0,
+            },
+        );
+        // A report delivered *to* the churner about someone else stays.
+        c.deliver_witness_report(
+            churner,
+            WitnessReport {
+                witness: PeerId(2),
+                subject: PeerId(6),
+                conduct: Conduct::Honest,
+                round: 0,
+            },
+        );
+        assert_eq!(c.pending_report_count(), 3);
+        c.whitewash(churner);
+        assert_eq!(c.pending_report_count(), 1);
+        // Corroborating PeerId(5) later must not grade the churner for
+        // its pre-churn report.
+        c.record_direct(PeerId(0), PeerId(5), Conduct::Dishonest, 1);
+        if let AnyModel::Beta(m) = c.model(PeerId(0)) {
+            assert_eq!(
+                m.witness_reliability(churner),
+                m.config().witness_prior,
+                "pre-churn report must not grade the fresh identity"
+            );
+        } else {
+            panic!("expected beta model");
         }
     }
 

@@ -27,11 +27,13 @@
 //! the same seed (enforced by the cross-thread determinism tests).
 
 use crate::metrics::{accuracy_metrics, cooperation_truth, trust_mae_with_truth_threads};
-use crate::population::{Community, CommunitySnapshot, ModelKind};
+use crate::population::{Community, CommunitySnapshot, DefenseConfig, ModelKind};
 use crate::strategy::{plan, Strategy};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use trustex_agents::adversary::Faction;
 use trustex_agents::profile::PopulationMix;
+use trustex_agents::reporting::Campaign;
 use trustex_core::deal::Deal;
 use trustex_core::execute::{execute, ExchangeOutcome, ExchangeStatus};
 use trustex_core::policy::PaymentPolicy;
@@ -63,6 +65,9 @@ pub struct MarketConfig {
     pub gossip_witnesses: usize,
     /// Master seed; equal seeds reproduce runs exactly.
     pub seed: u64,
+    /// Community-level defenses against coordinated reporting attacks
+    /// (both off by default).
+    pub defense: DefenseConfig,
     /// Record O(n²) trust metrics every round (else only at the end).
     pub track_trust_per_round: bool,
     /// Worker threads for the sharded session executor (0 = auto via
@@ -84,6 +89,7 @@ impl Default for MarketConfig {
             payment_policy: PaymentPolicy::Lazy,
             gossip_witnesses: 3,
             seed: 42,
+            defense: DefenseConfig::default(),
             track_trust_per_round: false,
             threads: 0,
         }
@@ -195,11 +201,83 @@ enum SessionOutcome {
     Traded(ExchangeOutcome),
 }
 
+/// Faction rosters scanned once from the sampled profiles: the shared
+/// coordination state the campaign dispatch resolves targets against.
+/// All pools are in ascending id order (construction scans ids in
+/// order), which `pick_other`'s exclusion shift relies on.
+#[derive(Debug, Default)]
+struct Coordination {
+    /// Agents marked as targets of slander campaigns.
+    victims: Vec<PeerId>,
+    /// Collusion-ring membership, indexed by ring id.
+    rings: Vec<Vec<PeerId>>,
+    /// Sybil-cell membership, indexed by cell id.
+    cells: Vec<Vec<PeerId>>,
+    /// `(agent, period)` identity churners; whitewash fires at the end
+    /// of every `period`-th round.
+    whitewashers: Vec<(PeerId, u64)>,
+}
+
+impl Coordination {
+    fn scan(community: &Community) -> Coordination {
+        let mut coordination = Coordination::default();
+        for agent in community.agent_ids() {
+            match community.profile(agent).faction {
+                Faction::None | Faction::SlanderCell => {}
+                Faction::Victim => coordination.victims.push(agent),
+                Faction::Ring(ring) => {
+                    let ring = ring as usize;
+                    if coordination.rings.len() <= ring {
+                        coordination.rings.resize_with(ring + 1, Vec::new);
+                    }
+                    coordination.rings[ring].push(agent);
+                }
+                Faction::Sybil { cell, .. } => {
+                    let cell = cell as usize;
+                    if coordination.cells.len() <= cell {
+                        coordination.cells.resize_with(cell + 1, Vec::new);
+                    }
+                    coordination.cells[cell].push(agent);
+                }
+                Faction::Whitewash { period } => {
+                    coordination.whitewashers.push((agent, period.max(1)));
+                }
+            }
+        }
+        coordination
+    }
+}
+
+/// Uniformly picks a member of the sorted `pool` other than `exclude`.
+/// Draws from the RNG only when a choice exists; `None` when the pool is
+/// empty or holds only `exclude`.
+fn pick_other(pool: &[PeerId], exclude: PeerId, rng: &mut SimRng) -> Option<PeerId> {
+    match pool.binary_search(&exclude) {
+        Ok(at) => {
+            if pool.len() <= 1 {
+                None
+            } else {
+                let raw = rng.index(pool.len() - 1);
+                Some(pool[if raw >= at { raw + 1 } else { raw }])
+            }
+        }
+        Err(_) => {
+            if pool.is_empty() {
+                None
+            } else {
+                Some(pool[rng.index(pool.len())])
+            }
+        }
+    }
+}
+
 /// The simulation driver.
 #[derive(Debug)]
 pub struct MarketSim {
     cfg: MarketConfig,
     community: Community,
+    /// Faction rosters for the coordinated-attack campaign dispatch.
+    coordination: Coordination,
     rng: SimRng,
     honest_gain: f64,
     dishonest_gain: f64,
@@ -223,11 +301,14 @@ impl MarketSim {
             cfg.n_agents
         );
         let mut rng = SimRng::new(cfg.seed);
-        let community = Community::new(cfg.n_agents, &cfg.mix, cfg.model, &mut rng);
+        let community =
+            Community::with_defense(cfg.n_agents, &cfg.mix, cfg.model, cfg.defense, &mut rng);
+        let coordination = Coordination::scan(&community);
         let truth = cooperation_truth(&community);
         MarketSim {
             cfg,
             community,
+            coordination,
             rng,
             honest_gain: 0.0,
             dishonest_gain: 0.0,
@@ -464,12 +545,24 @@ impl MarketSim {
                 &mut rng_feedback,
             );
 
-            // Unprovoked slander.
+            // Unprovoked campaign reports: random slander, targeted
+            // smears and collusion-ring vouches.
             for observer in [supplier, consumer] {
-                let reporting = self.community.profile(observer).reporting;
-                if reporting.slanders_now(&mut rng_feedback) {
-                    let victim = PeerId(rng_feedback.index(n) as u32);
-                    if victim != observer {
+                let profile = self.community.profile(observer);
+                match profile.reporting.campaigns_now(&mut rng_feedback) {
+                    Some(Campaign::RandomSlander) => {
+                        // Exclusion-shift over n − 1: the observer can
+                        // never draw itself, so every triggered slander
+                        // is delivered. (A previous implementation drew
+                        // from the full range and dropped observer
+                        // collisions, silently losing 1/n of the
+                        // configured slander volume.)
+                        let raw = rng_feedback.index(n - 1);
+                        let victim = PeerId(if raw >= observer.index() {
+                            raw + 1
+                        } else {
+                            raw
+                        } as u32);
                         self.gossip(
                             observer,
                             victim,
@@ -478,7 +571,45 @@ impl MarketSim {
                             &mut rng_feedback,
                         );
                     }
+                    Some(Campaign::TargetedSlander) => {
+                        if let Some(victim) =
+                            pick_other(&self.coordination.victims, observer, &mut rng_feedback)
+                        {
+                            self.gossip(
+                                observer,
+                                victim,
+                                Conduct::Dishonest,
+                                round,
+                                &mut rng_feedback,
+                            );
+                        }
+                    }
+                    Some(Campaign::Vouch) => {
+                        if let Faction::Ring(ring) = profile.faction {
+                            if let Some(member) = pick_other(
+                                &self.coordination.rings[ring as usize],
+                                observer,
+                                &mut rng_feedback,
+                            ) {
+                                self.gossip(
+                                    observer,
+                                    member,
+                                    Conduct::Honest,
+                                    round,
+                                    &mut rng_feedback,
+                                );
+                            }
+                        }
+                    }
+                    None => {}
                 }
+            }
+        }
+        // Identity churn: each whitewasher sheds its identity at the end
+        // of every `period`-th round — everyone else forgets it.
+        for &(agent, period) in &self.coordination.whitewashers {
+            if (round + 1).is_multiple_of(period) {
+                self.community.whitewash(agent);
             }
         }
         if self.cfg.track_trust_per_round {
@@ -503,8 +634,13 @@ impl MarketSim {
     ) {
         self.community
             .record_direct(observer, subject, truth, round);
-        let reporting = self.community.profile(observer).reporting;
-        if let Some(shaped) = reporting.report(truth) {
+        let profile = self.community.profile(observer);
+        let shaped = profile.reporting.report_about(
+            truth,
+            profile.faction,
+            self.community.profile(subject).faction,
+        );
+        if let Some(shaped) = shaped {
             self.gossip(observer, subject, shaped, round, rng);
         }
     }
@@ -561,6 +697,36 @@ impl MarketSim {
                     round,
                 },
             );
+        }
+        // Sybil amplification: up to `fanout` clones from the witness's
+        // cell echo the report under their own identities to the same
+        // targets. No RNG is drawn, so populations without Sybils replay
+        // bit-identical streams.
+        if let Faction::Sybil { cell, fanout } = self.community.profile(witness).faction {
+            let mut echoes = 0usize;
+            for &clone in &self.coordination.cells[cell as usize] {
+                if echoes >= fanout as usize {
+                    break;
+                }
+                if clone == witness || clone == subject {
+                    continue;
+                }
+                echoes += 1;
+                for &target in &targets {
+                    if target == clone {
+                        continue;
+                    }
+                    self.community.deliver_witness_report(
+                        target,
+                        WitnessReport {
+                            witness: clone,
+                            subject,
+                            conduct,
+                            round,
+                        },
+                    );
+                }
+            }
         }
         targets
     }
@@ -741,5 +907,250 @@ mod tests {
         let targets = sim.gossip(PeerId(2), PeerId(5), Conduct::Honest, 3, &mut rng);
         assert_eq!(targets.len(), 4);
         assert_eq!(sim.community.pending_report_count(), 4);
+    }
+
+    use trustex_agents::adversary::Adversary;
+    use trustex_agents::behavior::ExchangeBehavior;
+    use trustex_agents::profile::AgentProfile;
+    use trustex_agents::reporting::ReportingBehavior;
+    use trustex_trust::model::TrustEstimate;
+
+    /// Total observations (direct + witness, any conduct) recorded by
+    /// `evaluator`'s mean model, and the dishonest subset — the
+    /// delivery-counting probes the campaign tests rely on (the mean
+    /// model ingests everything at full weight).
+    fn mean_observations(sim: &MarketSim) -> (u64, u64) {
+        let n = sim.community.len();
+        let mut total = 0;
+        let mut dishonest = 0;
+        for evaluator in sim.community.agent_ids() {
+            if let crate::population::AnyModel::Mean(m) = sim.community.model(evaluator) {
+                for subject in 0..n as u32 {
+                    let (h, t) = m.counts(PeerId(subject));
+                    total += t;
+                    dishonest += t - h;
+                }
+            } else {
+                panic!("expected mean model");
+            }
+        }
+        (total, dishonest)
+    }
+
+    /// Regression test for the slander under-delivery bug: with
+    /// `slander_prob = 1` every traded session must land exactly two
+    /// slander campaigns of full gossip fan-out — the old implementation
+    /// drew the victim from the full id range and silently dropped the
+    /// `victim == observer` collisions (1/n of all slanders; 25% in this
+    /// 4-agent community).
+    #[test]
+    fn triggered_slander_is_always_delivered() {
+        let slanderer = AgentProfile {
+            exchange: ExchangeBehavior::Honest,
+            reporting: ReportingBehavior::Slanderer { slander_prob: 1.0 },
+            faction: Faction::None,
+        };
+        let cfg = MarketConfig {
+            n_agents: 4,
+            rounds: 4,
+            sessions_per_round: 25,
+            mix: PopulationMix::new(vec![(1.0, slanderer)]),
+            model: ModelKind::Mean,
+            workload: Workload::FileSharing,
+            gossip_witnesses: 3,
+            ..MarketConfig::default()
+        };
+        let k = 2; // min(3, n − 2)
+        let mut sim = MarketSim::new(cfg);
+        let threads = resolve_threads(1);
+        let mut traded = 0;
+        for round in 0..4 {
+            let stats = sim.run_round(round, threads);
+            traded += stats.completed + stats.aborted;
+        }
+        assert!(traded > 0, "the slander flood must not stop all trade");
+        let (total, dishonest) = mean_observations(&sim);
+        // All agents behave honestly in exchanges, so the only dishonest
+        // observations are the slander deliveries: 2 campaigns × k
+        // targets per traded session, none lost.
+        assert_eq!(dishonest, traded * 2 * k, "slanders lost");
+        // Direct (2) + truthful feedback gossip (2k) + slander (2k).
+        assert_eq!(total, traded * (2 + 4 * k));
+    }
+
+    /// Colluder vouch campaigns fire every session and deliver full
+    /// fan-out `Honest` reports for fellow ring members.
+    #[test]
+    fn colluder_vouches_are_delivered_at_full_fanout() {
+        let colluder = AgentProfile {
+            exchange: ExchangeBehavior::Honest,
+            reporting: ReportingBehavior::Colluder { vouch_prob: 1.0 },
+            faction: Faction::Ring(0),
+        };
+        let cfg = MarketConfig {
+            n_agents: 6,
+            rounds: 3,
+            sessions_per_round: 20,
+            mix: PopulationMix::new(vec![(1.0, colluder)]),
+            model: ModelKind::Mean,
+            workload: Workload::FileSharing,
+            gossip_witnesses: 2,
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(cfg);
+        let threads = resolve_threads(1);
+        let mut traded = 0;
+        for round in 0..3 {
+            let stats = sim.run_round(round, threads);
+            traded += stats.completed + stats.aborted;
+        }
+        let (total, dishonest) = mean_observations(&sim);
+        assert_eq!(dishonest, 0, "an all-honest ring files no complaints");
+        // Direct (2) + truthful cover gossip (2k) + vouch (2k).
+        let k = 2;
+        assert_eq!(total, traded * (2 + 4 * k));
+    }
+
+    /// Sybil clones echo each report under their own identities: the
+    /// pending count grows by one report per (echo clone, target) pair,
+    /// excluding targets that are the clone itself.
+    #[test]
+    fn sybil_cell_amplifies_gossip() {
+        let sybil = AgentProfile {
+            exchange: ExchangeBehavior::Honest,
+            reporting: ReportingBehavior::Truthful,
+            faction: Faction::Sybil { cell: 0, fanout: 2 },
+        };
+        let cfg = MarketConfig {
+            n_agents: 6,
+            gossip_witnesses: 3,
+            mix: PopulationMix::new(vec![(1.0, sybil)]),
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(cfg);
+        let mut rng = SimRng::new(5);
+        let witness = PeerId(2);
+        let subject = PeerId(5);
+        let targets = sim.gossip(witness, subject, Conduct::Dishonest, 0, &mut rng);
+        assert_eq!(targets.len(), 3);
+        // Echo clones are the first two cell members ≠ witness/subject:
+        // PeerId(0) and PeerId(1). Each re-delivers to every target
+        // except itself.
+        let clones = [PeerId(0), PeerId(1)];
+        let expected_echoes: usize = clones
+            .iter()
+            .map(|c| targets.iter().filter(|t| *t != c).count())
+            .sum();
+        assert_eq!(
+            sim.community.pending_report_count(),
+            targets.len() + expected_echoes
+        );
+    }
+
+    /// A whitewasher with period 1 sheds its identity at the end of every
+    /// round: after the run, every honest agent's estimate of it is back
+    /// at cold start despite rounds of defection.
+    #[test]
+    fn whitewashers_end_the_run_with_cold_reputations() {
+        let whitewasher = AgentProfile {
+            exchange: ExchangeBehavior::Rational { stake_micros: 0 },
+            reporting: ReportingBehavior::Truthful,
+            faction: Faction::Whitewash { period: 1 },
+        };
+        let cfg = MarketConfig {
+            n_agents: 20,
+            rounds: 6,
+            sessions_per_round: 40,
+            mix: PopulationMix::new(vec![(0.5, AgentProfile::honest()), (0.5, whitewasher)]),
+            model: ModelKind::Beta,
+            workload: Workload::FileSharing,
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(cfg);
+        let threads = resolve_threads(1);
+        for round in 0..6 {
+            sim.run_round(round, threads);
+        }
+        let churners: Vec<PeerId> = sim
+            .community
+            .agent_ids()
+            .filter(|a| sim.community.profile(*a).faction != Faction::None)
+            .collect();
+        assert!(!churners.is_empty());
+        for evaluator in sim.community.agent_ids() {
+            if sim.community.profile(evaluator).faction != Faction::None {
+                continue;
+            }
+            for &churner in &churners {
+                assert_eq!(
+                    sim.community.predict(evaluator, churner),
+                    TrustEstimate::new(0.5, 0.0),
+                    "whitewashed identity must read cold"
+                );
+            }
+        }
+    }
+
+    /// `report_rate_cap: Some(0)` silences the witness channel entirely:
+    /// only direct experiences reach the models.
+    #[test]
+    fn rate_cap_zero_blocks_all_witness_reports() {
+        let cfg = MarketConfig {
+            n_agents: 10,
+            rounds: 3,
+            sessions_per_round: 20,
+            mix: PopulationMix::new(vec![(1.0, AgentProfile::honest())]),
+            model: ModelKind::Mean,
+            workload: Workload::FileSharing,
+            defense: DefenseConfig {
+                report_rate_cap: Some(0),
+                ..DefenseConfig::default()
+            },
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(cfg);
+        let threads = resolve_threads(1);
+        let mut traded = 0;
+        for round in 0..3 {
+            let stats = sim.run_round(round, threads);
+            traded += stats.completed + stats.aborted;
+        }
+        assert!(traded > 0);
+        assert_eq!(sim.community.pending_report_count(), 0);
+        let (total, _) = mean_observations(&sim);
+        assert_eq!(total, traded * 2, "only direct experience may land");
+    }
+
+    /// The zoo mix at coordination zero is bit-identical to the manually
+    /// assembled independent baseline: the coordination hooks (campaign
+    /// dispatch, sybil echo, whitewash sweep, faction-aware shaping)
+    /// consume no RNG and touch no state when every faction is `None`.
+    #[test]
+    fn zoo_at_zero_coordination_replays_the_independent_baseline() {
+        let zoo = MarketSim::new(MarketConfig {
+            mix: trustex_agents::adversary::zoo_mix(0.3, 0.0),
+            ..smoke_cfg(Strategy::TrustAware)
+        })
+        .run();
+        let baseline = MarketSim::new(MarketConfig {
+            mix: independent_equivalent(0.3),
+            ..smoke_cfg(Strategy::TrustAware)
+        })
+        .run();
+        assert_eq!(zoo, baseline);
+    }
+
+    /// The hand-built independent mix `zoo_mix(f, 0)` must degrade to:
+    /// the same entries `Adversary::profile(0.0)` produces, in zoo order.
+    fn independent_equivalent(f: f64) -> PopulationMix {
+        let honest = 1.0 - f;
+        let mut entries = vec![
+            (honest * 0.9, AgentProfile::honest()),
+            (honest * 0.1, AgentProfile::honest()),
+        ];
+        for archetype in Adversary::ALL {
+            entries.push((f / 5.0, archetype.profile(0.0)));
+        }
+        PopulationMix::new(entries)
     }
 }

@@ -1,0 +1,141 @@
+//! Property suite for the adversary zoo.
+//!
+//! The zoo's coordination hooks (campaign draws, Sybil echoes, the
+//! whitewash sweep, the defense bookkeeping) must be **RNG-neutral**
+//! when inert: a zoo population at zero coordination has to replay the
+//! pre-zoo independent baseline bit for bit, and a defense knob that
+//! never binds must not perturb a single draw. These properties pin
+//! that contract across sampled attacker fractions, seeds and models.
+
+use proptest::{prop_assert_eq, proptest, ProptestConfig};
+use trustex_agents::adversary::{zoo_mix, Faction, VICTIM_SHARE};
+use trustex_agents::behavior::ExchangeBehavior;
+use trustex_agents::profile::{AgentProfile, PopulationMix};
+use trustex_agents::reporting::ReportingBehavior;
+use trustex_market::prelude::*;
+
+/// The hand-built independent mix a zero-coordination zoo must equal:
+/// the two honest entries `mix_of` emits, then one baseline entry per
+/// archetype in zoo order — colluders and sybils decay to liars, the
+/// rest to truthful defectors — with **no** zoo types involved.
+fn independent_equivalent(attacker_fraction: f64) -> PopulationMix {
+    let defect = ExchangeBehavior::Rational { stake_micros: 0 };
+    let liar = AgentProfile {
+        exchange: defect,
+        reporting: ReportingBehavior::Liar,
+        faction: Faction::None,
+    };
+    let truthful = AgentProfile {
+        exchange: defect,
+        reporting: ReportingBehavior::Truthful,
+        faction: Faction::None,
+    };
+    let honest = 1.0 - attacker_fraction;
+    let share = attacker_fraction / 5.0;
+    PopulationMix::new(vec![
+        (honest * (1.0 - VICTIM_SHARE), AgentProfile::honest()),
+        (honest * VICTIM_SHARE, AgentProfile::honest()),
+        (share, liar),     // colluder
+        (share, truthful), // slanderer
+        (share, liar),     // sybil
+        (share, truthful), // oscillator
+        (share, truthful), // whitewasher
+    ])
+}
+
+fn base_cfg(model: ModelKind, seed: u64) -> MarketConfig {
+    MarketConfig {
+        n_agents: 30,
+        rounds: 4,
+        sessions_per_round: 25,
+        model,
+        seed,
+        ..MarketConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A zoo population at coordination 0 produces a bit-identical
+    /// `MarketReport` to the manually built independent baseline, for
+    /// any attacker fraction, seed and trust model.
+    #[test]
+    fn zero_coordination_replays_the_independent_baseline(
+        frac in 0.0f64..0.6,
+        seed in 0u64..100_000,
+        model_idx in 0usize..4,
+    ) {
+        let base = base_cfg(ModelKind::ALL[model_idx], seed);
+        let zoo = MarketSim::new(MarketConfig {
+            mix: zoo_mix(frac, 0.0),
+            ..base.clone()
+        })
+        .run();
+        let independent = MarketSim::new(MarketConfig {
+            mix: independent_equivalent(frac),
+            ..base
+        })
+        .run();
+        prop_assert_eq!(zoo, independent);
+    }
+
+    /// A report-rate cap that can never bind is a strict no-op: the
+    /// per-witness bookkeeping must not consume RNG or shift any
+    /// delivery, even under a fully coordinated attack.
+    #[test]
+    fn unreachable_rate_cap_is_a_no_op(
+        frac in 0.0f64..0.6,
+        coord in 0.0f64..1.0,
+        seed in 0u64..100_000,
+    ) {
+        let base = MarketConfig {
+            mix: zoo_mix(frac, coord),
+            ..base_cfg(ModelKind::Beta, seed)
+        };
+        let uncapped = MarketSim::new(base.clone()).run();
+        let capped = MarketSim::new(MarketConfig {
+            defense: DefenseConfig {
+                scorer_weighted: false,
+                report_rate_cap: Some(u32::MAX),
+            },
+            ..base
+        })
+        .run();
+        prop_assert_eq!(capped, uncapped);
+    }
+}
+
+/// Both defense knobs visibly change outcomes under a coordinated
+/// attack — they are live levers, not dead configuration.
+#[test]
+fn defense_knobs_engage_under_attack() {
+    let base = MarketConfig {
+        n_agents: 40,
+        rounds: 6,
+        sessions_per_round: 40,
+        mix: zoo_mix(0.4, 1.0),
+        model: ModelKind::Beta,
+        seed: 11,
+        ..MarketConfig::default()
+    };
+    let off = MarketSim::new(base.clone()).run();
+    let scorer = MarketSim::new(MarketConfig {
+        defense: DefenseConfig {
+            scorer_weighted: true,
+            report_rate_cap: None,
+        },
+        ..base.clone()
+    })
+    .run();
+    let capped = MarketSim::new(MarketConfig {
+        defense: DefenseConfig {
+            scorer_weighted: false,
+            report_rate_cap: Some(2),
+        },
+        ..base
+    })
+    .run();
+    assert_ne!(off, scorer, "scorer weighting must engage");
+    assert_ne!(off, capped, "a tight rate cap must engage");
+}

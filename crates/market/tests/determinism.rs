@@ -8,6 +8,7 @@
 
 use proptest::{prop_assert_eq, proptest, ProptestConfig};
 use std::sync::Mutex;
+use trustex_agents::adversary::zoo_mix;
 use trustex_agents::profile::PopulationMix;
 use trustex_market::experiments::{find, Scale, ALL};
 use trustex_market::metrics::{accuracy_metrics, cooperation_truth};
@@ -111,6 +112,59 @@ fn e6_pgrid_table_identical_across_thread_counts() {
         );
     }
     set_default_threads(0);
+}
+
+/// E11 fans (model × defense × fraction × coordination) arms across the
+/// worker pool, and each arm exercises the full coordinated-attack
+/// machinery — ring vouches, targeted slander, Sybil echo fan-out and
+/// the post-merge whitewash sweep — plus both defense knobs. The
+/// assembled frontier table must be bit-identical for any thread count.
+#[test]
+fn e11_adversary_table_identical_across_thread_counts() {
+    let _guard = THREAD_DEFAULT.lock().unwrap_or_else(|e| e.into_inner());
+    let e11 = find("e11").expect("e11 registered");
+    set_default_threads(1);
+    let reference = (e11.run)(Scale::Smoke);
+    for threads in [2usize, 8] {
+        set_default_threads(threads);
+        assert_eq!(
+            (e11.run)(Scale::Smoke),
+            reference,
+            "e11 diverged at threads={threads}"
+        );
+    }
+    set_default_threads(0);
+}
+
+/// A single zoo simulation — maximum coordination, defenses on — yields
+/// a bit-identical report for threads ∈ {1, 2, 8}: the coordinated
+/// campaigns run in the sequential merge phase and the Sybil echo is
+/// RNG-free, so sharding the execute phase must not shift a single draw.
+#[test]
+fn zoo_market_report_identical_across_thread_counts() {
+    let defense = DefenseConfig {
+        scorer_weighted: true,
+        report_rate_cap: Some(8),
+    };
+    for model in ModelKind::ALL {
+        let make = |threads: usize| {
+            MarketSim::new(MarketConfig {
+                model,
+                mix: zoo_mix(0.3, 1.0),
+                defense,
+                ..cfg(threads, 0x200)
+            })
+            .run()
+        };
+        let reference = make(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                make(threads),
+                reference,
+                "{model:?} zoo run diverged at threads={threads}"
+            );
+        }
+    }
 }
 
 /// The batched accuracy metrics fan evaluator rows across the worker

@@ -49,6 +49,28 @@ impl Default for LifecycleConfig {
     }
 }
 
+/// `base << shift` saturating at `u64::MAX` instead of silently
+/// dropping high bits: `2u64 << 63` is `0`, which would collapse a
+/// late-attempt backoff to the minimum delay instead of the cap.
+fn saturating_shl(base: u64, shift: u32) -> u64 {
+    if base == 0 {
+        0
+    } else if shift > base.leading_zeros() {
+        u64::MAX
+    } else {
+        base << shift
+    }
+}
+
+/// The delay before a ticket's next admission attempt: exponential in
+/// the attempt count, saturating into `backoff_cap` rather than
+/// wrapping, and never less than one tick.
+fn backoff_delay(cfg: &LifecycleConfig, attempts: u32) -> u64 {
+    cfg.backoff_cap
+        .min(saturating_shl(cfg.backoff_base, attempts.saturating_sub(1)))
+        .max(1)
+}
+
 /// A queued join request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct JoinTicket {
@@ -156,6 +178,25 @@ impl Lifecycle {
         self.last_seen.truncate(write);
     }
 
+    /// Identity churn: `peer` leaves the overlay and immediately files
+    /// a fresh join request, whose ticket id is returned. The departed
+    /// index keeps its (dead) dense slot until the next
+    /// [`PGrid::compact`]; the rejoining identity is admitted by a
+    /// later [`Lifecycle::step`] like any other newcomer — paced,
+    /// backed off, and with a cold staleness clock. This is the
+    /// overlay-side counterpart of the market's whitewash sweep: the
+    /// community forgets the peer because, structurally, a *different*
+    /// peer comes back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is not live.
+    pub fn whitewash(&mut self, grid: &mut PGrid, peer: usize) -> u64 {
+        assert!(grid.is_live(peer), "whitewashing a dead peer");
+        grid.leave(peer);
+        self.request_join()
+    }
+
     /// Runs one tick: admits eligible tickets up to the budget (backing
     /// off the rest), then evicts stale live peers up to the eviction
     /// budget. Eviction never drops the overlay below two live peers.
@@ -182,11 +223,8 @@ impl Lifecycle {
                 report.admitted.push(idx);
             } else {
                 ticket.attempts += 1;
-                let delay = self
-                    .cfg
-                    .backoff_cap
-                    .min(self.cfg.backoff_base << (ticket.attempts - 1).min(63));
-                ticket.ready_at = self.tick + delay.max(1);
+                let delay = backoff_delay(&self.cfg, ticket.attempts);
+                ticket.ready_at = self.tick.saturating_add(delay);
                 report.deferred += 1;
                 self.pending.push_back(ticket);
             }
@@ -279,6 +317,63 @@ mod tests {
         let gaps: Vec<u64> = deferred_at.windows(2).map(|w| w[1] - w[0]).collect();
         assert_eq!(&gaps[..4], &[2, 4, 8, 8], "backoff gaps: {gaps:?}");
         assert_eq!(g.live_len(), 8, "nothing admitted at zero budget");
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_past_the_shift_width() {
+        let cfg = LifecycleConfig {
+            backoff_base: 2,
+            backoff_cap: 8,
+            ..LifecycleConfig::default()
+        };
+        assert_eq!(backoff_delay(&cfg, 1), 2);
+        assert_eq!(backoff_delay(&cfg, 2), 4);
+        assert_eq!(backoff_delay(&cfg, 3), 8);
+        // `2u64 << 63 == 0`: a plain shift collapses the delay to the
+        // one-tick minimum at attempt 64 and beyond; the saturating
+        // shift must hold the cap instead.
+        for attempts in [4u32, 63, 64, 65, 200, u32::MAX] {
+            assert_eq!(backoff_delay(&cfg, attempts), 8, "attempts={attempts}");
+        }
+        let wide = LifecycleConfig {
+            backoff_base: u64::MAX,
+            backoff_cap: u64::MAX,
+            ..LifecycleConfig::default()
+        };
+        assert_eq!(backoff_delay(&wide, 2), u64::MAX);
+        // A zero base still waits the minimum one tick.
+        let zero = LifecycleConfig {
+            backoff_base: 0,
+            backoff_cap: 8,
+            ..LifecycleConfig::default()
+        };
+        assert_eq!(backoff_delay(&zero, 5), 1);
+    }
+
+    #[test]
+    fn whitewash_churns_identity_through_leave_and_rejoin() {
+        let (mut g, mut rng) = grid(16, 5);
+        let mut lc = Lifecycle::new(LifecycleConfig::default(), g.len());
+        lc.whitewash(&mut g, 3);
+        assert!(!g.is_live(3), "the old identity is gone");
+        assert_eq!(g.live_len(), 15);
+        assert_eq!(lc.pending_joins(), 1);
+        let r = lc.step(&mut g, &mut rng);
+        assert_eq!(r.admitted.len(), 1);
+        let fresh = r.admitted[0];
+        assert_ne!(fresh, 3, "rejoin gets a fresh dense identity");
+        assert!(g.is_live(fresh));
+        assert_eq!(g.live_len(), 16);
+        g.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "whitewashing a dead peer")]
+    fn whitewashing_a_dead_peer_panics() {
+        let (mut g, _rng) = grid(8, 6);
+        let mut lc = Lifecycle::new(LifecycleConfig::default(), g.len());
+        g.leave(2);
+        lc.whitewash(&mut g, 2);
     }
 
     #[test]

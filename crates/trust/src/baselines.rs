@@ -18,6 +18,12 @@ pub struct MeanTrust {
     /// Dense `(honest, total)` counts indexed by [`PeerId::index`];
     /// `total == 0` marks a never-observed subject.
     counts: Vec<(u64, u64)>,
+    /// Scorer-weighted aggregation: drop witness reports from reporters
+    /// whose own observed mean sits below coin-flip. The crudest form of
+    /// the defense the principled models apply continuously — still a
+    /// mean, but no longer gullible to known cheaters.
+    #[serde(default)]
+    scorer_weighted: bool,
 }
 
 impl MeanTrust {
@@ -45,6 +51,13 @@ impl MeanTrust {
         self.counts.get(subject.index()).copied().unwrap_or((0, 0))
     }
 
+    /// Enables (or disables) the scorer-weighted witness gate; returns
+    /// the model for builder-style chaining.
+    pub fn scorer_weighted(mut self, on: bool) -> MeanTrust {
+        self.scorer_weighted = on;
+        self
+    }
+
     fn add(&mut self, subject: PeerId, conduct: Conduct) {
         let e = dense_slot(&mut self.counts, subject);
         if conduct.is_honest() {
@@ -67,6 +80,12 @@ impl TrustModel for MeanTrust {
     }
 
     fn record_witness(&mut self, report: WitnessReport) {
+        // Gate, don't weight: integer counts leave no room for fractional
+        // discounting, so a witness observed below coin-flip honesty is
+        // ignored outright. Cold witnesses (0.5) pass.
+        if self.scorer_weighted && self.predict(report.witness).p_honest < 0.5 {
+            return;
+        }
         self.add(report.subject, report.conduct);
     }
 
@@ -80,6 +99,12 @@ impl TrustModel for MeanTrust {
             *slot = Self::estimate_of(*counts);
         }
         out[covered..].fill(TrustEstimate::UNKNOWN);
+    }
+
+    fn forget_peer(&mut self, peer: PeerId) {
+        if let Some(slot) = self.counts.get_mut(peer.index()) {
+            *slot = (0, 0);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -100,6 +125,11 @@ pub struct EwmaTrust {
     /// [`PeerId::index`]; `observations == 0` marks a never-observed
     /// subject (the score slot idles at the 0.5 starting point).
     scores: Vec<(f64, u64)>,
+    /// Scorer-weighted aggregation: drop witness reports from reporters
+    /// whose own EWMA score sits below coin-flip (see
+    /// [`MeanTrust`]'s gate; cold reporters at 0.5 pass).
+    #[serde(default)]
+    scorer_weighted: bool,
 }
 
 /// The dense-slot default for an untouched EWMA score: the 0.5 starting
@@ -117,7 +147,15 @@ impl EwmaTrust {
         EwmaTrust {
             rate,
             scores: Vec::new(),
+            scorer_weighted: false,
         }
+    }
+
+    /// Enables (or disables) the scorer-weighted witness gate; returns
+    /// the model for builder-style chaining.
+    pub fn scorer_weighted(mut self, on: bool) -> EwmaTrust {
+        self.scorer_weighted = on;
+        self
     }
 
     /// Creates a model with learning rate `rate` pre-sized for a
@@ -173,6 +211,9 @@ impl TrustModel for EwmaTrust {
     }
 
     fn record_witness(&mut self, report: WitnessReport) {
+        if self.scorer_weighted && self.predict(report.witness).p_honest < 0.5 {
+            return;
+        }
         self.update(report.subject, report.conduct, 0.5);
     }
 
@@ -191,6 +232,12 @@ impl TrustModel for EwmaTrust {
             *slot = Self::estimate_of(*score);
         }
         out[covered..].fill(TrustEstimate::UNKNOWN);
+    }
+
+    fn forget_peer(&mut self, peer: PeerId) {
+        if let Some(slot) = self.scores.get_mut(peer.index()) {
+            *slot = EWMA_COLD;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -280,6 +327,75 @@ mod tests {
     #[should_panic(expected = "rate")]
     fn ewma_invalid_rate() {
         EwmaTrust::new(0.0);
+    }
+
+    #[test]
+    fn scorer_gate_blocks_known_cheaters_only() {
+        let mut m = MeanTrust::new().scorer_weighted(true);
+        let cheater = PeerId(9);
+        let stranger = PeerId(8);
+        let subject = PeerId(1);
+        for _ in 0..4 {
+            m.record_direct(cheater, Conduct::Dishonest, 0);
+        }
+        m.record_witness(WitnessReport {
+            witness: cheater,
+            subject,
+            conduct: Conduct::Dishonest,
+            round: 0,
+        });
+        assert_eq!(m.counts(subject), (0, 0), "cheater's report dropped");
+        // A cold stranger (0.5) still passes the gate.
+        m.record_witness(WitnessReport {
+            witness: stranger,
+            subject,
+            conduct: Conduct::Honest,
+            round: 0,
+        });
+        assert_eq!(m.counts(subject), (1, 1));
+
+        let mut e = EwmaTrust::new(0.5).scorer_weighted(true);
+        for _ in 0..4 {
+            e.record_direct(cheater, Conduct::Dishonest, 0);
+        }
+        e.record_witness(WitnessReport {
+            witness: cheater,
+            subject,
+            conduct: Conduct::Dishonest,
+            round: 0,
+        });
+        assert_eq!(e.predict(subject), TrustEstimate::UNKNOWN);
+        e.record_witness(WitnessReport {
+            witness: stranger,
+            subject,
+            conduct: Conduct::Honest,
+            round: 0,
+        });
+        assert!((e.predict(subject).p_honest - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forget_peer_recolds_baselines() {
+        let p = PeerId(2);
+        let other = PeerId(4);
+        let mut m = MeanTrust::with_population(8);
+        m.record_direct(p, Conduct::Dishonest, 0);
+        m.record_direct(other, Conduct::Honest, 0);
+        m.forget_peer(p);
+        assert_eq!(m.predict(p), TrustEstimate::UNKNOWN);
+        assert_eq!(m.counts(other), (1, 1));
+        m.forget_peer(PeerId(999));
+
+        let mut e = EwmaTrust::with_population(0.3, 8);
+        e.record_direct(p, Conduct::Dishonest, 0);
+        let other_est = {
+            e.record_direct(other, Conduct::Honest, 0);
+            e.predict(other)
+        };
+        e.forget_peer(p);
+        assert_eq!(e.predict(p), TrustEstimate::UNKNOWN);
+        assert_eq!(e.predict(other), other_est);
+        e.forget_peer(PeerId(999));
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub struct BetaConfig {
     /// (0.6) lets a cold-started community benefit from gossip while
     /// graded liars still end up fully discounted.
     pub witness_prior: f64,
+    /// Scorer-weighted aggregation: additionally scale every witness
+    /// report by the evaluator's *behavioural* trust in the witness
+    /// (`predict(witness).p_honest`). Witness grading only reacts to
+    /// contradicted reports; this knob also deflates reporters the
+    /// evaluator has watched cheat in exchanges — the natural defense
+    /// against Sybil clones and collusion rings that never file a
+    /// gradeable lie about the evaluator's own partners.
+    #[serde(default)]
+    pub scorer_weighted: bool,
 }
 
 impl Default for BetaConfig {
@@ -46,6 +55,7 @@ impl Default for BetaConfig {
             forgetting: 1.0,
             witness_weight: 0.5,
             witness_prior: 0.6,
+            scorer_weighted: false,
         }
     }
 }
@@ -270,7 +280,13 @@ impl TrustModel for BetaTrust {
         // at or below coin-flip reliability are ignored entirely.
         let reliability = self.witness_reliability(report.witness);
         let discount = (2.0 * reliability - 1.0).max(0.0);
-        let weight = self.config.witness_weight * discount;
+        let mut weight = self.config.witness_weight * discount;
+        if self.config.scorer_weighted {
+            // Defense knob: deflate by behavioural trust in the witness,
+            // so agents watched cheating lose reporting power even when
+            // their reports were never directly contradicted.
+            weight *= self.predict(report.witness).p_honest;
+        }
         if weight <= 0.0 {
             return;
         }
@@ -300,6 +316,19 @@ impl TrustModel for BetaTrust {
         if covered < out.len() {
             let cold = self.estimate_of(Evidence::default());
             out[covered..].fill(cold);
+        }
+    }
+
+    fn forget_peer(&mut self, peer: PeerId) {
+        // Drop both roles: evidence about the peer as a subject and its
+        // accumulated witness standing. Estimates for other subjects keep
+        // whatever weight the peer's past reports already contributed —
+        // absorbed gossip is not re-attributable.
+        if let Some(slot) = self.evidence.get_mut(peer.index()) {
+            *slot = Evidence::default();
+        }
+        if let Some(slot) = self.witness_evidence.get_mut(peer.index()) {
+            *slot = WitnessSlot::default();
         }
     }
 
@@ -558,6 +587,97 @@ mod tests {
         m.record_direct(p, Conduct::Honest, 10);
         m.record_direct(p, Conduct::Honest, 3);
         assert_eq!(m.posterior(p), (3.0, 1.0));
+    }
+
+    #[test]
+    fn scorer_weighting_deflates_reports_from_known_cheaters() {
+        let cfg = BetaConfig {
+            scorer_weighted: true,
+            ..BetaConfig::default()
+        };
+        let mut weighted = BetaTrust::with_config(cfg);
+        let mut plain = BetaTrust::new();
+        let witness = PeerId(2);
+        let subject = PeerId(1);
+        // Build witness reliability in both, then let the weighted model
+        // also watch the witness cheat directly.
+        for m in [&mut weighted, &mut plain] {
+            for _ in 0..10 {
+                m.grade_witness(witness, true, R);
+            }
+        }
+        for _ in 0..10 {
+            weighted.record_direct(witness, Conduct::Dishonest, R);
+            plain.record_direct(witness, Conduct::Dishonest, R);
+        }
+        let report = WitnessReport {
+            witness,
+            subject,
+            conduct: Conduct::Dishonest,
+            round: R,
+        };
+        weighted.record_witness(report);
+        plain.record_witness(report);
+        // p_honest(witness) = 1/12 → the weighted report barely moves the
+        // subject; the plain one enters at full discounted weight.
+        assert!(
+            weighted.predict(subject).p_honest > plain.predict(subject).p_honest,
+            "scorer weighting must deflate a cheater's slander"
+        );
+        let (_, beta_w) = weighted.posterior(subject);
+        let (_, beta_p) = plain.posterior(subject);
+        assert!(
+            (beta_p - beta_w) > 0.3,
+            "weighted {beta_w} vs plain {beta_p}"
+        );
+    }
+
+    #[test]
+    fn scorer_weighting_off_changes_nothing() {
+        let cfg = BetaConfig::default();
+        assert!(!cfg.scorer_weighted);
+        let mut m = BetaTrust::with_config(cfg);
+        let witness = PeerId(2);
+        for _ in 0..10 {
+            m.grade_witness(witness, true, R);
+            m.record_direct(witness, Conduct::Dishonest, R);
+        }
+        let mut reference = BetaTrust::new();
+        for _ in 0..10 {
+            reference.grade_witness(witness, true, R);
+            reference.record_direct(witness, Conduct::Dishonest, R);
+        }
+        let report = WitnessReport {
+            witness,
+            subject: PeerId(1),
+            conduct: Conduct::Dishonest,
+            round: R,
+        };
+        m.record_witness(report);
+        reference.record_witness(report);
+        assert_eq!(m.predict(PeerId(1)), reference.predict(PeerId(1)));
+    }
+
+    #[test]
+    fn forget_peer_resets_subject_and_witness_roles() {
+        let mut m = BetaTrust::with_population(8);
+        let churner = PeerId(3);
+        let other = PeerId(5);
+        for _ in 0..12 {
+            m.record_direct(churner, Conduct::Dishonest, R);
+            m.record_direct(other, Conduct::Honest, R);
+            m.grade_witness(churner, false, R);
+        }
+        assert!(m.predict(churner).p_honest < 0.2);
+        assert!(m.witness_reliability(churner) < 0.2);
+        let other_before = m.predict(other);
+        m.forget_peer(churner);
+        // Cold again in both roles; bystanders untouched.
+        assert_eq!(m.predict(churner), BetaTrust::new().predict(churner));
+        assert_eq!(m.witness_reliability(churner), m.config().witness_prior);
+        assert_eq!(m.predict(other), other_before);
+        // Forgetting an id beyond the table is a no-op, not a panic.
+        m.forget_peer(PeerId(10_000));
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct ComplaintConfig {
     pub outlier_factor: f64,
     /// Weight of a witness-relayed complaint relative to a direct one.
     pub witness_weight: f64,
+    /// Scorer-weighted aggregation: additionally scale relayed
+    /// complaints by the evaluator's current honesty estimate for the
+    /// *complainer* (`predict(witness).p_honest`). Peers whose own
+    /// complaint product already marks them as outliers — serial
+    /// slanderers, heavily-complained-about cheaters — lose most of
+    /// their power to pile further complaints onto victims.
+    #[serde(default)]
+    pub scorer_weighted: bool,
 }
 
 impl Default for ComplaintConfig {
@@ -43,6 +51,7 @@ impl Default for ComplaintConfig {
         ComplaintConfig {
             outlier_factor: 4.0,
             witness_weight: 0.5,
+            scorer_weighted: false,
         }
     }
 }
@@ -357,7 +366,13 @@ impl TrustModel for ComplaintTrust {
 
     fn record_witness(&mut self, report: WitnessReport) {
         if !report.conduct.is_honest() {
-            self.add_complaint(report.witness, report.subject, self.config.witness_weight);
+            let mut weight = self.config.witness_weight;
+            if self.config.scorer_weighted {
+                // Defense knob: a complainer whose own product is already
+                // outlier-grade gets its relayed complaints deflated.
+                weight *= self.predict(report.witness).p_honest;
+            }
+            self.add_complaint(report.witness, report.subject, weight);
         }
     }
 
@@ -382,6 +397,20 @@ impl TrustModel for ComplaintTrust {
         if covered < out.len() {
             let cold = self.estimate_of(Tally::default(), threshold);
             out[covered..].fill(cold);
+        }
+    }
+
+    fn forget_peer(&mut self, peer: PeerId) {
+        // Clearing the tally drops both directions — complaints the peer
+        // received and complaints it filed. Complaints it filed also
+        // bumped *other* peers' received counts; those stay, exactly as
+        // gossip already absorbed elsewhere cannot be re-attributed.
+        if let Some(slot) = self.tallies.get_mut(peer.index()) {
+            if slot.seen {
+                *slot = Tally::default();
+                self.recorded -= 1;
+                self.median.dirty.store(true, Ordering::Release);
+            }
         }
     }
 
@@ -498,6 +527,60 @@ mod tests {
             last < 0.5,
             "ten complaints should drop below coin-flip: {last}"
         );
+    }
+
+    #[test]
+    fn scorer_weighting_deflates_outlier_complainers() {
+        let weighted_cfg = ComplaintConfig {
+            scorer_weighted: true,
+            ..ComplaintConfig::default()
+        };
+        let mut weighted = ComplaintTrust::with_config(weighted_cfg);
+        let mut plain = ComplaintTrust::new();
+        let slanderer = PeerId(50);
+        let victim = PeerId(1);
+        // The slanderer racks up an outlier-grade filing record first.
+        for m in [&mut weighted, &mut plain] {
+            m.set_population(20);
+            for v in 10..20 {
+                m.file_complaint(slanderer, PeerId(v), 0);
+            }
+        }
+        let report = WitnessReport {
+            witness: slanderer,
+            subject: victim,
+            conduct: Conduct::Dishonest,
+            round: 0,
+        };
+        weighted.record_witness(report);
+        plain.record_witness(report);
+        assert_eq!(plain.tally(victim).0, 0.5);
+        // The slanderer's own product (11) sits far above the median
+        // threshold, so p_honest(slanderer) ≈ 0.35 and the relayed
+        // complaint lands at ≈ 0.17 instead of 0.5.
+        let (weighted_received, _) = weighted.tally(victim);
+        assert!(
+            weighted_received < 0.2,
+            "outlier complainer must be deflated: {weighted_received}"
+        );
+    }
+
+    #[test]
+    fn forget_peer_clears_the_record_and_reopens_trust() {
+        let mut m = ComplaintTrust::with_population(16);
+        let cheater = PeerId(7);
+        for v in 0..8 {
+            m.file_complaint(PeerId(v), cheater, 0);
+        }
+        assert_eq!(m.assess(cheater), Assessment::Untrustworthy);
+        let bystander_before = m.tally(PeerId(3));
+        m.forget_peer(cheater);
+        assert!(m.assess(cheater).is_trustworthy(), "whitewashed record");
+        assert_eq!(m.tally(cheater), (0.0, 0.0));
+        assert_eq!(m.tally(PeerId(3)), bystander_before);
+        // Double-forget and out-of-table ids are no-ops.
+        m.forget_peer(cheater);
+        m.forget_peer(PeerId(9_999));
     }
 
     #[test]

@@ -151,6 +151,21 @@ pub trait TrustModel {
         }
     }
 
+    /// Erases every trace of `peer` from the evaluator's state —
+    /// evidence about it as a subject *and* any reporter standing it
+    /// earned as a witness — as if the evaluator had never met it.
+    ///
+    /// This is the receiving side of a whitewashing attack: the peer
+    /// sheds its identity (leave + rejoin under a fresh id) and the
+    /// rest of the community forgets it. Predictions for the peer must
+    /// return the cold-start estimate afterwards; predictions for every
+    /// other subject must be unaffected (up to lazily cached population
+    /// statistics that legitimately included the peer's records). The
+    /// default is a no-op for stateless models.
+    fn forget_peer(&mut self, peer: PeerId) {
+        let _ = peer;
+    }
+
     /// Stable model name for experiment tables.
     fn name(&self) -> &'static str;
 
