@@ -1,0 +1,55 @@
+//! E13 bench: composite service snapshot/restore — the warm-start path
+//! (encode the overlay + engine, parse it back) against a fixed state.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use trustex_market::experiments::{find, Scale};
+use trustex_market::prelude::*;
+use trustex_netsim::rng::SimRng;
+use trustex_reputation::pgrid::{PGrid, PGridConfig};
+use trustex_trust::engine::{TrustEngine, TrustEvent};
+use trustex_trust::model::{Conduct, PeerId};
+
+fn service_state(n: usize, events: usize) -> (PGrid, TrustEngine<trustex_trust::beta::BetaTrust>) {
+    let mut rng = SimRng::new(0xE13);
+    let grid = PGrid::build(n, PGridConfig::for_population(n, 4), &mut rng);
+    let engine = TrustEngine::new(trustex_trust::beta::BetaTrust::with_population(n));
+    for i in 0..events {
+        let subject = PeerId(rng.index(n) as u32);
+        let conduct = Conduct::from_honest(!rng.chance(0.3));
+        engine.submit(i as u64, TrustEvent::direct(subject, conduct, i as u64));
+        if i % 1_000 == 999 {
+            engine.publish();
+        }
+    }
+    (grid, engine)
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let (grid, engine) = service_state(5_000, 50_000);
+    let blob = snapshot_service(&grid, &engine);
+
+    let mut group = c.benchmark_group("e13/persistence");
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("snapshot", |b| {
+        b.iter(|| black_box(snapshot_service(&grid, &engine)))
+    });
+    group.bench_function("restore", |b| {
+        b.iter(|| {
+            black_box(
+                restore_service::<trustex_trust::beta::BetaTrust>(&blob)
+                    .expect("own snapshot restores"),
+            )
+        })
+    });
+    group.finish();
+
+    // The full experiment at smoke scale, as the registry runs it.
+    let e13 = find("e13").expect("registered");
+    c.bench_function("e13/experiment_smoke", |b| {
+        b.iter(|| black_box((e13.run)(Scale::Smoke)))
+    });
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

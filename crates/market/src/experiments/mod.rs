@@ -14,7 +14,7 @@ mod community;
 mod exchange;
 mod pipeline;
 mod service;
-mod storage;
+pub(crate) mod storage;
 
 pub use adversary::e11_adversaries;
 pub use community::{e4_strategies, e5_trust_accuracy, e8_marketplace, e9_convergence};
@@ -22,6 +22,8 @@ pub use exchange::{e1_existence, e2_scaling, e3_relaxation, e7_exposure};
 pub use pipeline::e0_pipeline;
 pub use service::e12_service;
 pub use storage::{e10_ablations, e6_pgrid};
+
+pub use crate::persistence::e13_persistence;
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,7 +56,7 @@ pub struct Experiment {
 }
 
 /// All experiments in presentation order.
-pub const ALL: [Experiment; 13] = [
+pub const ALL: [Experiment; 14] = [
     Experiment {
         id: "e0",
         title: "Figure R1: reference-model pipeline end-to-end",
@@ -120,6 +122,11 @@ pub const ALL: [Experiment; 13] = [
         title: "Table R5: trust service replay (throughput + latency percentiles)",
         run: e12_service,
     },
+    Experiment {
+        id: "e13",
+        title: "Table R7: durable evidence (warm start, crash recovery, log replay)",
+        run: e13_persistence,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -133,11 +140,11 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(ALL.len(), 13);
+        assert_eq!(ALL.len(), 14);
         let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
     }
 
     #[test]
@@ -148,6 +155,7 @@ mod tests {
             "the adversary frontier is registered"
         );
         assert!(find("e12").is_some());
+        assert!(find("e13").is_some(), "durable evidence is registered");
         assert_eq!(find("e0").unwrap().id, "e0");
     }
 

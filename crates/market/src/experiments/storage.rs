@@ -50,7 +50,7 @@ impl GridArm {
 /// availability-independent part of an E6 rung, shared by every arm at
 /// that population (the old layout rebuilt the same grid once per arm,
 /// tripling the dominant cost of the experiment).
-fn build_base(n: usize, replication: usize, seed: u64) -> PGrid {
+pub(crate) fn build_base(n: usize, replication: usize, seed: u64) -> PGrid {
     let mut rng = SimRng::new(seed);
     let cfg = PGridConfig::for_population(n, replication);
     let mut grid = PGrid::build(n, cfg, &mut rng);

@@ -29,6 +29,7 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod persistence;
 pub mod population;
 pub mod replay;
 pub mod sim;
@@ -43,6 +44,7 @@ pub mod prelude {
         accuracy_metrics, cooperation_truth, decision_accuracy, rank_accuracy, trust_mae,
         trust_mae_with_truth, AccuracyMetrics,
     };
+    pub use crate::persistence::{restore_service, snapshot_service, SERVICE_MAGIC};
     pub use crate::population::{AnyModel, Community, CommunitySnapshot, DefenseConfig, ModelKind};
     pub use crate::replay::{replay, ReplayCheck, ReplayConfig, ReplayReport};
     pub use crate::sim::{MarketConfig, MarketReport, MarketSim, RoundStats};

@@ -108,7 +108,17 @@ impl ChurnTimeline {
                 if t >= horizon_s {
                     break;
                 }
-                node_flips.push(SimTime::from_micros((t * 1e6) as u64));
+                // Truncating to whole microseconds can land two close
+                // flips on the same instant, where `is_up`'s partition
+                // point would swallow both toggles; bump to keep the
+                // flip list strictly increasing.
+                let mut instant = SimTime::from_micros((t * 1e6) as u64);
+                if let Some(&last) = node_flips.last() {
+                    if instant <= last {
+                        instant = SimTime::from_micros(last.as_micros() + 1);
+                    }
+                }
+                node_flips.push(instant);
                 up = !up;
             }
             flips.push(node_flips);
@@ -236,6 +246,43 @@ mod tests {
                 b.up_nodes(SimTime::from_secs(t))
             );
         }
+    }
+
+    /// Regression: sub-microsecond holding times used to truncate onto
+    /// the same `SimTime`, breaking the documented strictly-increasing
+    /// invariant and making `is_up` swallow both toggles at that instant.
+    #[test]
+    fn flips_stay_strictly_increasing_under_submicrosecond_holding_times() {
+        let mut rng = SimRng::new(11);
+        // Mean down-time of 1 ns: consecutive down→up flips land well
+        // inside the same microsecond before truncation.
+        let model = ChurnModel::new(2.0, 1e-9);
+        let tl = ChurnTimeline::generate(64, SimTime::from_secs(50), model, &mut rng);
+        let mut collisions_possible = 0usize;
+        for node in 0..tl.len() {
+            let flips = &tl.flips[node];
+            for pair in flips.windows(2) {
+                assert!(
+                    pair[0] < pair[1],
+                    "node {node}: flips must be strictly increasing, got {:?}",
+                    pair
+                );
+                if pair[1].as_micros() - pair[0].as_micros() == 1 {
+                    collisions_possible += 1;
+                }
+            }
+            // Every flip must be observable: the state at flip k differs
+            // from the state just before it.
+            let mut expect = tl.initial_up[node];
+            for &ft in flips {
+                expect = !expect;
+                assert_eq!(tl.is_up(node, ft), expect, "node {node} flip at {ft}");
+            }
+        }
+        assert!(
+            collisions_possible > 0,
+            "the scenario must actually exercise the collision path"
+        );
     }
 
     #[test]

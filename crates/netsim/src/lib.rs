@@ -14,6 +14,8 @@
 //!   up/down periods), used for the churn experiments.
 //! * [`stats`] — small online statistics helpers (Welford mean/variance,
 //!   quantile samples, counters) shared by the experiment harness.
+//! * [`crc`] — CRC-32C checksums backing the durable-evidence codec in
+//!   `trustex-persist` (snapshot sections, evidence-log frames).
 //!
 //! * [`pool`] — a deterministic `std::thread` worker pool. Experiments
 //!   are specified as deterministic functions of a seed, so parallelism
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod crc;
 pub mod event;
 pub mod hash;
 pub mod net;
@@ -51,6 +54,7 @@ pub mod stats;
 pub mod time;
 
 pub use churn::{ChurnModel, ChurnTimeline};
+pub use crc::{crc32c, Crc32};
 pub use event::EventQueue;
 pub use net::{Latency, NetConfig, Network, NodeId};
 pub use pool::{parallel_map, resolve_threads, set_default_threads};

@@ -259,7 +259,13 @@ impl Histogram {
 
     /// Records an observation; values outside `[lo, hi)` land in the
     /// nearest edge bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (matching [`Sample::push`]) — `NaN as usize` is 0,
+    /// so it would otherwise be silently filed into bucket 0.
     pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "Histogram does not accept NaN");
         let n = self.buckets.len();
         let idx = if x < self.lo {
             0
@@ -440,6 +446,16 @@ mod tests {
         h.record(1.0); // hi is exclusive -> last bucket
         assert_eq!(h.buckets()[0], 1);
         assert_eq!(h.buckets()[3], 2);
+    }
+
+    /// Regression: NaN fails both range guards and `NaN as usize == 0`,
+    /// so it used to be filed silently into bucket 0 while the sibling
+    /// `Sample::push` panics. The two must be consistent.
+    #[test]
+    #[should_panic(expected = "Histogram does not accept NaN")]
+    fn histogram_rejects_nan_like_sample() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(f64::NAN);
     }
 
     #[test]

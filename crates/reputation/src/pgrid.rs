@@ -79,11 +79,21 @@ use std::collections::BTreeMap;
 use trustex_netsim::net::{Delivery, Network};
 use trustex_netsim::rng::SimRng;
 use trustex_netsim::time::SimTime;
+use trustex_persist::codec::{ByteReader, ByteWriter};
+use trustex_persist::snapshot::Persistable;
+use trustex_persist::PersistError;
 use trustex_trust::model::PeerId;
 
 /// Upper bound on `max_depth`: the leaf directory and subtree counts
 /// are flat arenas of `2^(max_depth+1)` slots each.
 const ARENA_DEPTH_LIMIT: u8 = 20;
+
+/// Upper bound on `max_refs`: the reference arena allocates
+/// `n · max_depth · max_refs` entries up front, so the per-bucket
+/// capacity must stay bounded for the allocation to stay proportional
+/// to the population (and for snapshot restore to stay safe against a
+/// corrupted config declaring an absurd capacity).
+const REFS_LIMIT: usize = 256;
 
 /// Configuration of a [`PGrid`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -139,7 +149,7 @@ impl PGridConfig {
             self.max_depth,
             ARENA_DEPTH_LIMIT
         );
-        assert!(self.max_refs >= 1);
+        assert!(self.max_refs >= 1 && self.max_refs <= REFS_LIMIT);
     }
 }
 
@@ -1143,6 +1153,285 @@ impl PGrid {
                 }
             }
         }
+    }
+
+    /// Non-panicking mirror of [`PGrid::check_invariants`], run on every
+    /// restore: a snapshot that decodes structurally but describes an
+    /// inconsistent arena (crafted or miscomputed) must surface as
+    /// [`PersistError::Invalid`], never as a silently-wrong grid or a
+    /// later panic deep inside routing.
+    fn validate_restored(&self) -> Result<(), PersistError> {
+        fn invalid(context: &'static str) -> PersistError {
+            PersistError::Invalid { context }
+        }
+        let n = self.paths.len();
+        let d = self.cfg.max_depth as usize;
+        let mut seen = vec![false; n];
+        let mut indexed = 0usize;
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            for (pos, &m) in bucket.iter().enumerate() {
+                let m = m as usize;
+                if m >= n || self.departed[m] {
+                    return Err(invalid("directory indexes a departed or unknown peer"));
+                }
+                if std::mem::replace(&mut seen[m], true) {
+                    return Err(invalid("directory indexes a peer twice"));
+                }
+                if self.paths[m].slot() != slot {
+                    return Err(invalid("directory member filed under the wrong path"));
+                }
+                if self.dir_pos[m] as usize != pos {
+                    return Err(invalid("dir_pos out of sync with the directory"));
+                }
+                indexed += 1;
+            }
+        }
+        if indexed != self.live {
+            return Err(invalid("directory does not index every live peer"));
+        }
+        if self.occupied != self.buckets.iter().filter(|b| !b.is_empty()).count() {
+            return Err(invalid("occupied-bucket count out of sync"));
+        }
+        for slot in 1..self.buckets.len() {
+            let children = if (slot << 1) < self.buckets.len() {
+                self.subtree[slot << 1] + self.subtree[(slot << 1) | 1]
+            } else {
+                0
+            };
+            if self.subtree[slot] != self.buckets[slot].len() as u32 + children {
+                return Err(invalid("subtree count out of sync"));
+            }
+        }
+        for peer in 0..n {
+            let plen = self.paths[peer].len();
+            if plen > self.cfg.max_depth {
+                return Err(invalid("path deeper than max_depth"));
+            }
+            for level in 0..d {
+                let li = peer * d + level;
+                let len = self.ref_len[li] as usize;
+                if len > self.cfg.max_refs {
+                    return Err(invalid("reference bucket over capacity"));
+                }
+                if (self.departed[peer] || level as u8 >= plen) && len != 0 {
+                    return Err(invalid("departed or shallow peer holds references"));
+                }
+                for e in self.ref_bucket(peer, level) {
+                    let t = e.peer as usize;
+                    if t >= n || t == peer {
+                        return Err(invalid("reference targets an unknown peer or self"));
+                    }
+                    let tp = self.paths[t];
+                    if tp.len() <= level as u8 || self.paths[peer].common_prefix(tp) != level as u8
+                    {
+                        return Err(invalid("reference violates the divergence contract"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ## Wire layout (section tag `PGRD`)
+///
+/// ```text
+/// cfg       := key_bits:u8 max_depth:u8 max_refs:u64 meetings_per_peer:u64
+/// state     := cfg clock:u64
+///              n:len (path_packed:u64 departed:u8)*n
+///              (ref_len:u8 (peer:u32 stamp:u32)*ref_len)*(n·max_depth)
+///              (store_len:len (by:u32 about:u32 round:u64)*store_len)*n
+///              bucket_count:len (slot:u64 members:len member:u32*)*
+/// ```
+///
+/// Only the occupied prefix of each reference bucket is serialized — the
+/// arena beyond `ref_len` is lazy-eviction garbage; restore refills it
+/// with vacant entries, so a restored grid re-encodes bit-identically.
+/// Directory buckets travel in ascending slot order with their member
+/// order preserved (replica sampling reads it), and `live` / `dir_pos` /
+/// `occupied` / `subtree` are derived, then the whole arena passes the
+/// restore-time invariant re-check.
+impl Persistable for PGrid {
+    const TAG: [u8; 4] = *b"PGRD";
+
+    fn encode_state(&self, w: &mut ByteWriter) {
+        let d = self.cfg.max_depth as usize;
+        w.put_u8(self.cfg.key_bits);
+        w.put_u8(self.cfg.max_depth);
+        w.put_u64(self.cfg.max_refs as u64);
+        w.put_u64(self.cfg.meetings_per_peer as u64);
+        w.put_u64(self.clock);
+        w.put_len(self.paths.len());
+        for (i, p) in self.paths.iter().enumerate() {
+            w.put_u64(p.packed());
+            w.put_bool(self.departed[i]);
+        }
+        for peer in 0..self.paths.len() {
+            for level in 0..d {
+                let li = self.bucket_index(peer, level);
+                w.put_u8(self.ref_len[li]);
+                for e in self.ref_bucket(peer, level) {
+                    w.put_u32(e.peer);
+                    w.put_u32(e.stamp);
+                }
+            }
+        }
+        for store in &self.stores {
+            w.put_len(store.len());
+            for (&(by, about), &round) in store {
+                w.put_u32(by.0);
+                w.put_u32(about.0);
+                w.put_u64(round);
+            }
+        }
+        w.put_len(self.occupied);
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            w.put_u64(slot as u64);
+            w.put_len(bucket.len());
+            for &m in bucket {
+                w.put_u32(m);
+            }
+        }
+    }
+
+    fn decode_state(r: &mut ByteReader) -> Result<PGrid, PersistError> {
+        let cfg = PGridConfig {
+            key_bits: r.take_u8()?,
+            max_depth: r.take_u8()?,
+            max_refs: r.take_u64()? as usize,
+            meetings_per_peer: r.take_u64()? as usize,
+        };
+        if cfg.key_bits < 1
+            || cfg.key_bits > 32
+            || cfg.max_depth < 1
+            || cfg.max_depth > cfg.key_bits
+            || cfg.max_depth > ARENA_DEPTH_LIMIT
+            || cfg.max_refs < 1
+            || cfg.max_refs > REFS_LIMIT
+        {
+            return Err(PersistError::Invalid {
+                context: "grid configuration out of range",
+            });
+        }
+        let d = cfg.max_depth as usize;
+        let clock = r.take_u64()?;
+        let n = r.take_len(9)?;
+        if n == 0 {
+            return Err(PersistError::Invalid {
+                context: "a grid has at least one peer",
+            });
+        }
+        let mut paths = Vec::with_capacity(n);
+        let mut departed = Vec::with_capacity(n);
+        for _ in 0..n {
+            let path = BitPath::from_packed(r.take_u64()?).ok_or(PersistError::Malformed {
+                context: "non-canonical packed path",
+            })?;
+            paths.push(path);
+            departed.push(r.take_bool()?);
+        }
+        // Bound the arena allocations by the declared ref lengths still
+        // to be read: each of the n·d buckets costs at least 1 byte.
+        if n.saturating_mul(d) > r.remaining() {
+            return Err(PersistError::Malformed {
+                context: "length prefix exceeds remaining input",
+            });
+        }
+        let mut refs = vec![RefEntry::VACANT; n * d * cfg.max_refs];
+        let mut ref_len = vec![0u8; n * d];
+        for li in 0..n * d {
+            let len = r.take_u8()?;
+            if len as usize > cfg.max_refs {
+                return Err(PersistError::Invalid {
+                    context: "reference bucket over capacity",
+                });
+            }
+            ref_len[li] = len;
+            for k in 0..len as usize {
+                refs[li * cfg.max_refs + k] = RefEntry {
+                    peer: r.take_u32()?,
+                    stamp: r.take_u32()?,
+                };
+            }
+        }
+        let mut stores = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.take_len(16)?;
+            let mut store = BTreeMap::new();
+            for _ in 0..len {
+                let by = PeerId(r.take_u32()?);
+                let about = PeerId(r.take_u32()?);
+                let round = r.take_u64()?;
+                if store.insert((by, about), round).is_some() {
+                    return Err(PersistError::Invalid {
+                        context: "duplicate complaint pair in a store",
+                    });
+                }
+            }
+            stores.push(store);
+        }
+        let slots = 1usize << (cfg.max_depth + 1);
+        let mut buckets = vec![Vec::new(); slots];
+        let mut dir_pos = vec![0u32; n];
+        let occupied = r.take_len(13)?;
+        let mut live = 0usize;
+        let mut prev_slot = 0usize;
+        for _ in 0..occupied {
+            let slot = r.take_u64()? as usize;
+            if slot == 0 || slot >= slots || slot <= prev_slot {
+                return Err(PersistError::Invalid {
+                    context: "directory slots not strictly ascending",
+                });
+            }
+            prev_slot = slot;
+            let members = r.take_len(4)?;
+            if members == 0 {
+                return Err(PersistError::Invalid {
+                    context: "empty bucket serialized as occupied",
+                });
+            }
+            let mut bucket = Vec::with_capacity(members);
+            for pos in 0..members {
+                let m = r.take_u32()?;
+                if m as usize >= n {
+                    return Err(PersistError::Invalid {
+                        context: "directory indexes a departed or unknown peer",
+                    });
+                }
+                dir_pos[m as usize] = pos as u32;
+                bucket.push(m);
+                live += 1;
+            }
+            buckets[slot] = bucket;
+        }
+        let mut subtree = vec![0u32; slots];
+        for slot in (1..slots).rev() {
+            let children = if (slot << 1) < slots {
+                subtree[slot << 1] + subtree[(slot << 1) | 1]
+            } else {
+                0
+            };
+            subtree[slot] = buckets[slot].len() as u32 + children;
+        }
+        let grid = PGrid {
+            cfg,
+            paths,
+            departed,
+            live,
+            refs,
+            ref_len,
+            stores,
+            buckets,
+            subtree,
+            occupied,
+            dir_pos,
+            clock,
+        };
+        grid.validate_restored()?;
+        Ok(grid)
     }
 }
 

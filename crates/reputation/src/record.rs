@@ -226,6 +226,34 @@ impl BitPath {
         (((self.bits as u64) << (32 - self.len as u32)) << 8) | self.len as u64
     }
 
+    /// Inverse of [`BitPath::packed`]: rebuilds a path from its packed
+    /// `u64`, or `None` if the value is not a canonical packing (length
+    /// over 32, stray bits in the middle byte gap, or bits set below the
+    /// left-aligned region).
+    pub fn from_packed(packed: u64) -> Option<BitPath> {
+        let len = (packed & 0xFF) as u8;
+        if len > 32 {
+            return None;
+        }
+        let rest = packed >> 8;
+        if rest > u32::MAX as u64 {
+            return None;
+        }
+        let aligned = rest as u32;
+        if len < 32 && aligned.trailing_zeros() < (32 - len as u32) && aligned != 0 {
+            return None;
+        }
+        let bits = if len == 0 {
+            if aligned != 0 {
+                return None;
+            }
+            0
+        } else {
+            aligned >> (32 - len as u32)
+        };
+        Some(BitPath { bits, len })
+    }
+
     /// The path's index in a heap-layout (level-order) arena over the
     /// complete binary trie: `(1 << len) | bits`. The root (empty path)
     /// is slot 1; a trie of depth `d` fits in `1 << (d + 1)` slots; a
@@ -396,6 +424,27 @@ mod tests {
                 assert_eq!(p.cmp(&q), p.packed().cmp(&q.packed()), "{p} vs {q}");
             }
         }
+    }
+
+    #[test]
+    fn from_packed_round_trips_and_rejects_junk() {
+        let mut all = vec![BitPath::EMPTY];
+        for len in 1u8..=8 {
+            for bits in 0..(1u32 << len) {
+                all.push(BitPath::from_bits(bits, len));
+            }
+        }
+        for &p in &all {
+            assert_eq!(BitPath::from_packed(p.packed()), Some(p), "{p}");
+        }
+        // Non-canonical packings must be rejected.
+        assert_eq!(BitPath::from_packed(33), None); // len > 32
+        assert_eq!(BitPath::from_packed(u64::MAX), None);
+        // Bits set below the left-aligned region for the given length.
+        let p = BitPath::from_bits(0b1, 1);
+        assert_eq!(BitPath::from_packed(p.packed() | (1 << 8)), None);
+        // Non-zero bits with zero length.
+        assert_eq!(BitPath::from_packed(1 << 40), None);
     }
 
     #[test]

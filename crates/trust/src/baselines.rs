@@ -9,6 +9,9 @@ use crate::confidence::evidence_confidence;
 use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
 use crate::table::dense_slot;
 use serde::{Deserialize, Serialize};
+use trustex_persist::codec::{ByteReader, ByteWriter};
+use trustex_persist::snapshot::Persistable;
+use trustex_persist::PersistError;
 
 /// Arithmetic-mean trust: `p = honest / total`, 0.5 when unseen.
 /// Witness reports count exactly like direct experience (no
@@ -242,6 +245,88 @@ impl TrustModel for EwmaTrust {
 
     fn name(&self) -> &'static str {
         "ewma"
+    }
+}
+
+impl Persistable for MeanTrust {
+    const TAG: [u8; 4] = *b"MEAN";
+
+    fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_bool(self.scorer_weighted);
+        w.put_len(self.counts.len());
+        for &(honest, total) in &self.counts {
+            w.put_u64(honest);
+            w.put_u64(total);
+        }
+    }
+
+    fn decode_state(r: &mut ByteReader) -> Result<Self, PersistError> {
+        let scorer_weighted = r.take_bool()?;
+        let n = r.take_len(16)?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let honest = r.take_u64()?;
+            let total = r.take_u64()?;
+            if honest > total {
+                return Err(PersistError::Invalid {
+                    context: "mean-trust honest count exceeds total",
+                });
+            }
+            counts.push((honest, total));
+        }
+        Ok(MeanTrust {
+            counts,
+            scorer_weighted,
+        })
+    }
+}
+
+impl Persistable for EwmaTrust {
+    const TAG: [u8; 4] = *b"EWMA";
+
+    fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_f64(self.rate);
+        w.put_bool(self.scorer_weighted);
+        w.put_len(self.scores.len());
+        for &(score, n) in &self.scores {
+            w.put_f64(score);
+            w.put_u64(n);
+        }
+    }
+
+    fn decode_state(r: &mut ByteReader) -> Result<Self, PersistError> {
+        let rate = r.take_finite_f64()?;
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(PersistError::Invalid {
+                context: "ewma rate must be in (0, 1]",
+            });
+        }
+        let scorer_weighted = r.take_bool()?;
+        let n = r.take_len(16)?;
+        let mut scores = Vec::with_capacity(n);
+        for _ in 0..n {
+            let score = r.take_finite_f64()?;
+            let observations = r.take_u64()?;
+            // Scores are convex combinations of {0, 1} seeded at 0.5, so
+            // anything outside [0, 1] — or a touched-looking cold slot —
+            // is a crafted payload, not reachable state.
+            if !(0.0..=1.0).contains(&score) {
+                return Err(PersistError::Invalid {
+                    context: "ewma score out of [0, 1]",
+                });
+            }
+            if observations == 0 && score != EWMA_COLD.0 {
+                return Err(PersistError::Invalid {
+                    context: "ewma cold slot with non-default score",
+                });
+            }
+            scores.push((score, observations));
+        }
+        Ok(EwmaTrust {
+            rate,
+            scores,
+            scorer_weighted,
+        })
     }
 }
 

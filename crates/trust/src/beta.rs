@@ -15,6 +15,9 @@ use crate::confidence::evidence_confidence;
 use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
 use crate::table::dense_slot;
 use serde::{Deserialize, Serialize};
+use trustex_persist::codec::{ByteReader, ByteWriter};
+use trustex_persist::snapshot::Persistable;
+use trustex_persist::PersistError;
 
 /// Configuration of a [`BetaTrust`] model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -334,6 +337,93 @@ impl TrustModel for BetaTrust {
 
     fn name(&self) -> &'static str {
         "beta"
+    }
+}
+
+impl Persistable for BetaTrust {
+    const TAG: [u8; 4] = *b"BETA";
+
+    fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_f64(self.config.prior_honest);
+        w.put_f64(self.config.prior_dishonest);
+        w.put_f64(self.config.forgetting);
+        w.put_f64(self.config.witness_weight);
+        w.put_f64(self.config.witness_prior);
+        w.put_bool(self.config.scorer_weighted);
+        w.put_len(self.evidence.len());
+        for e in &self.evidence {
+            w.put_f64(e.honest);
+            w.put_f64(e.dishonest);
+            w.put_u64(e.last_round);
+        }
+        w.put_len(self.witness_evidence.len());
+        for s in &self.witness_evidence {
+            w.put_f64(s.evidence.honest);
+            w.put_f64(s.evidence.dishonest);
+            w.put_u64(s.evidence.last_round);
+            w.put_bool(s.graded);
+        }
+    }
+
+    fn decode_state(r: &mut ByteReader) -> Result<Self, PersistError> {
+        // Re-validate the config with typed errors — the panicking
+        // `validate()` is for code-authored configs, not disk bytes.
+        let config = BetaConfig {
+            prior_honest: r.take_finite_f64()?,
+            prior_dishonest: r.take_finite_f64()?,
+            forgetting: r.take_finite_f64()?,
+            witness_weight: r.take_finite_f64()?,
+            witness_prior: r.take_finite_f64()?,
+            scorer_weighted: r.take_bool()?,
+        };
+        if !(config.prior_honest > 0.0 && config.prior_dishonest > 0.0) {
+            return Err(PersistError::Invalid {
+                context: "beta priors must be positive",
+            });
+        }
+        if !(config.forgetting > 0.0 && config.forgetting <= 1.0) {
+            return Err(PersistError::Invalid {
+                context: "beta forgetting must be in (0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.witness_weight)
+            || !(0.0..=1.0).contains(&config.witness_prior)
+        {
+            return Err(PersistError::Invalid {
+                context: "beta witness weights must be in [0, 1]",
+            });
+        }
+        let take_evidence = |r: &mut ByteReader| -> Result<Evidence, PersistError> {
+            let e = Evidence {
+                honest: r.take_finite_f64()?,
+                dishonest: r.take_finite_f64()?,
+                last_round: r.take_u64()?,
+            };
+            if e.honest < 0.0 || e.dishonest < 0.0 {
+                return Err(PersistError::Invalid {
+                    context: "beta evidence counts must be non-negative",
+                });
+            }
+            Ok(e)
+        };
+        let n = r.take_len(24)?;
+        let mut evidence = Vec::with_capacity(n);
+        for _ in 0..n {
+            evidence.push(take_evidence(r)?);
+        }
+        let n = r.take_len(25)?;
+        let mut witness_evidence = Vec::with_capacity(n);
+        for _ in 0..n {
+            witness_evidence.push(WitnessSlot {
+                evidence: take_evidence(r)?,
+                graded: r.take_bool()?,
+            });
+        }
+        Ok(BetaTrust {
+            config,
+            evidence,
+            witness_evidence,
+        })
     }
 }
 

@@ -27,6 +27,9 @@ use crate::table::dense_slot;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use trustex_persist::codec::{ByteReader, ByteWriter};
+use trustex_persist::snapshot::Persistable;
+use trustex_persist::PersistError;
 
 /// Configuration of the complaint-based model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -423,6 +426,86 @@ impl TrustModel for ComplaintTrust {
         // (snapshot epochs) start with a clean cache, so their readers
         // only ever do atomic loads — never the scratch-buffer mutex.
         self.median_product();
+    }
+}
+
+impl Persistable for ComplaintTrust {
+    const TAG: [u8; 4] = *b"CMPL";
+
+    fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_f64(self.config.outlier_factor);
+        w.put_f64(self.config.witness_weight);
+        w.put_bool(self.config.scorer_weighted);
+        match self.population {
+            Some(n) => {
+                w.put_bool(true);
+                w.put_u64(n as u64);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_len(self.tallies.len());
+        for t in &self.tallies {
+            w.put_f64(t.received);
+            w.put_f64(t.filed);
+            w.put_bool(t.seen);
+        }
+        // `recorded` is derived (seen-count) and the median cache is
+        // lazily recomputed — neither travels.
+    }
+
+    fn decode_state(r: &mut ByteReader) -> Result<Self, PersistError> {
+        let config = ComplaintConfig {
+            outlier_factor: r.take_finite_f64()?,
+            witness_weight: r.take_finite_f64()?,
+            scorer_weighted: r.take_bool()?,
+        };
+        if config.outlier_factor < 1.0 {
+            return Err(PersistError::Invalid {
+                context: "complaint outlier factor must be ≥ 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.witness_weight) {
+            return Err(PersistError::Invalid {
+                context: "complaint witness weight must be in [0, 1]",
+            });
+        }
+        let population = if r.take_bool()? {
+            Some(r.take_u64()? as usize)
+        } else {
+            None
+        };
+        let n = r.take_len(17)?;
+        let mut tallies = Vec::with_capacity(n);
+        let mut recorded = 0usize;
+        for _ in 0..n {
+            let t = Tally {
+                received: r.take_finite_f64()?,
+                filed: r.take_finite_f64()?,
+                seen: r.take_bool()?,
+            };
+            if t.received < 0.0 || t.filed < 0.0 {
+                return Err(PersistError::Invalid {
+                    context: "complaint tallies must be non-negative",
+                });
+            }
+            if !t.seen && (t.received != 0.0 || t.filed != 0.0) {
+                return Err(PersistError::Invalid {
+                    context: "unseen peer with non-zero complaint tally",
+                });
+            }
+            recorded += usize::from(t.seen);
+            tallies.push(t);
+        }
+        // The median cache starts dirty: the first read recomputes it
+        // from the restored tallies — a pure function, so the value is
+        // bit-identical to the encoded instance's.
+        Ok(ComplaintTrust {
+            config,
+            tallies,
+            recorded,
+            population,
+            median: MedianCache::default(),
+        })
     }
 }
 

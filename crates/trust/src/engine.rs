@@ -42,6 +42,9 @@
 use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use trustex_persist::codec::{ByteReader, ByteWriter};
+use trustex_persist::snapshot::Persistable;
+use trustex_persist::PersistError;
 
 /// One streamed write: everything the [`TrustModel`] write interface
 /// accepts, reified so deltas can be queued, reordered and replayed.
@@ -79,6 +82,62 @@ impl TrustEvent {
                 round,
             } => model.record_direct(subject, conduct, round),
             TrustEvent::Witness(report) => model.record_witness(report),
+        }
+    }
+
+    /// Writes the event's wire frame (the payload format of the durable
+    /// evidence log and the engine's pending-delta section).
+    pub fn encode_into(self, w: &mut ByteWriter) {
+        fn put_conduct(w: &mut ByteWriter, c: Conduct) {
+            w.put_u8(!c.is_honest() as u8);
+        }
+        match self {
+            TrustEvent::Direct {
+                subject,
+                conduct,
+                round,
+            } => {
+                w.put_u8(0);
+                w.put_u32(subject.0);
+                put_conduct(w, conduct);
+                w.put_u64(round);
+            }
+            TrustEvent::Witness(report) => {
+                w.put_u8(1);
+                w.put_u32(report.witness.0);
+                w.put_u32(report.subject.0);
+                put_conduct(w, report.conduct);
+                w.put_u64(report.round);
+            }
+        }
+    }
+
+    /// Reads one event frame written by [`TrustEvent::encode_into`].
+    pub fn decode_from(r: &mut ByteReader) -> Result<TrustEvent, PersistError> {
+        fn take_conduct(r: &mut ByteReader) -> Result<Conduct, PersistError> {
+            match r.take_u8()? {
+                0 => Ok(Conduct::Honest),
+                1 => Ok(Conduct::Dishonest),
+                _ => Err(PersistError::Malformed {
+                    context: "conduct byte out of range",
+                }),
+            }
+        }
+        match r.take_u8()? {
+            0 => Ok(TrustEvent::Direct {
+                subject: PeerId(r.take_u32()?),
+                conduct: take_conduct(r)?,
+                round: r.take_u64()?,
+            }),
+            1 => Ok(TrustEvent::Witness(WitnessReport {
+                witness: PeerId(r.take_u32()?),
+                subject: PeerId(r.take_u32()?),
+                conduct: take_conduct(r)?,
+                round: r.take_u64()?,
+            })),
+            _ => Err(PersistError::Malformed {
+                context: "trust-event variant out of range",
+            }),
         }
     }
 }
@@ -228,6 +287,48 @@ impl<M: TrustModel + Clone> TrustEngine<M> {
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = next;
         self.epoch.store(epoch, Ordering::Release);
         epoch
+    }
+}
+
+/// The engine persists as its published epoch, the base model (which
+/// carries every published event) and the pending seq-tagged delta —
+/// the full write-side state. Restoring re-seals the base and publishes
+/// it at the saved epoch, so snapshots resume exactly where the saved
+/// engine's would, and a subsequent `publish` folds the restored delta
+/// identically to the live engine.
+impl<M: TrustModel + Clone + Persistable> Persistable for TrustEngine<M> {
+    const TAG: [u8; 4] = *b"TENG";
+
+    fn encode_state(&self, w: &mut ByteWriter) {
+        let write = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        w.put_u64(self.epoch.load(Ordering::Acquire));
+        write.base.encode_state(w);
+        w.put_len(write.pending.len());
+        for &(seq, event) in &write.pending {
+            w.put_u64(seq);
+            event.encode_into(w);
+        }
+    }
+
+    fn decode_state(r: &mut ByteReader) -> Result<Self, PersistError> {
+        let epoch = r.take_u64()?;
+        let base = M::decode_state(r)?;
+        // Smallest pending frame: seq (8) + direct event (14).
+        let n = r.take_len(22)?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.take_u64()?;
+            pending.push((seq, TrustEvent::decode_from(r)?));
+        }
+        base.prepare_snapshot();
+        Ok(TrustEngine {
+            current: RwLock::new(TrustSnapshot {
+                model: Arc::new(base.clone()),
+                epoch,
+            }),
+            epoch: AtomicU64::new(epoch),
+            write: Mutex::new(WriteSide { base, pending }),
+        })
     }
 }
 

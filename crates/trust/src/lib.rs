@@ -40,6 +40,7 @@ pub mod beta;
 pub mod complaints;
 pub mod confidence;
 pub mod engine;
+pub mod evidence_log;
 pub mod model;
 mod table;
 
@@ -50,5 +51,6 @@ pub mod prelude {
     pub use crate::complaints::{Assessment, ComplaintConfig, ComplaintTrust};
     pub use crate::confidence::{chernoff_half_width, chernoff_sample_size};
     pub use crate::engine::{TrustEngine, TrustEvent, TrustSnapshot};
+    pub use crate::evidence_log::{EvidenceLog, EvidenceRecord, LogReplay};
     pub use crate::model::{Conduct, PeerId, TrustEstimate, TrustModel, WitnessReport};
 }

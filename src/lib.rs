@@ -24,5 +24,6 @@ pub use trustex_core as core;
 pub use trustex_decision as decision;
 pub use trustex_market as market;
 pub use trustex_netsim as netsim;
+pub use trustex_persist as persist;
 pub use trustex_reputation as reputation;
 pub use trustex_trust as trust;
