@@ -1,0 +1,58 @@
+//! E14 bench: one faulty market arm per defense posture.
+//!
+//! Times a single chaos simulation (5% loss, bisect partition healing
+//! mid-run, duplication) with the defenses off and on — the unit the
+//! e14 sweep fans across the pool. The defended arm exercises the whole
+//! fault stack: fate hashing, the retransmission queue, dedup and the
+//! degradation gate; a regression in any of them shows up here before
+//! it multiplies across the 44-arm table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustex_agents::profile::PopulationMix;
+use trustex_market::prelude::*;
+use trustex_netsim::fault::{FaultConfig, PartitionSpec};
+use trustex_netsim::time::SimTime;
+
+fn chaos_cfg(defended: bool) -> MarketConfig {
+    let rounds = 8;
+    MarketConfig {
+        n_agents: 60,
+        rounds,
+        sessions_per_round: 60,
+        workload: Workload::FileSharing,
+        mix: PopulationMix::standard(0.3, 0.25),
+        chaos: Some(ChaosConfig {
+            fault: FaultConfig {
+                loss: 0.05,
+                duplicate: 0.01,
+                extra_delay_max_us: 0,
+                partition: PartitionSpec::Bisect {
+                    heal_at: SimTime::from_micros(rounds / 2 * ROUND_SPAN.as_micros()),
+                },
+            },
+            retry: defended,
+            degrade: defended,
+        }),
+        threads: 1,
+        seed: 0xE14,
+        ..MarketConfig::default()
+    }
+}
+
+fn bench_chaos_arm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14/chaos_arm");
+    group.sample_size(20);
+    for (label, defended) in [("undefended", false), ("defended", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &defended, |b, &d| {
+            b.iter(|| {
+                let report = MarketSim::new(chaos_cfg(d)).run();
+                black_box((report.witness_delivery_rate(), report.total_welfare))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos_arm);
+criterion_main!(benches);

@@ -79,6 +79,31 @@ pub fn e11_adversaries(scale: Scale) -> Table {
             }
         }
     }
+    // The defense ladder: at the hardest arm (largest attacker fraction,
+    // full coordination), how tight must the per-reporter rate cap be
+    // before the attack stops paying? One arm per cap, scorer weighting
+    // on throughout, on the `mean` model (the one with no built-in
+    // witness discounting, so the cap does all the work).
+    let ladder_frac = *fractions.last().expect("fraction sweep is nonempty");
+    let ladder: [(&str, Option<u32>); 5] = [
+        ("cap=1", Some(1)),
+        ("cap=2", Some(2)),
+        ("cap=4", Some(4)),
+        ("cap=8", Some(8)),
+        ("cap=inf", None),
+    ];
+    for (label, cap) in ladder {
+        labels.push((ModelKind::Mean, label, ladder_frac, 1.0));
+        arms.push(MarketConfig {
+            mix: zoo_mix(ladder_frac, 1.0),
+            model: ModelKind::Mean,
+            defense: DefenseConfig {
+                scorer_weighted: true,
+                report_rate_cap: cap,
+            },
+            ..base_cfg(scale)
+        });
+    }
     let reports = run_arms(arms);
     // Clean-market welfare per (model, defense): the frac = 0 arm leads
     // its block, so a linear scan fills the reference before any row
@@ -89,11 +114,17 @@ pub fn e11_adversaries(scale: Scale) -> Table {
             reference.push(((*model, defense_label), r.welfare_per_session()));
         }
     }
+    // Ladder arms (defense label "cap=…") have no clean arm of their
+    // own; their efficiency reads against the defended clean market.
     let clean_welfare = |model: ModelKind, defense_label: &str| {
-        reference
-            .iter()
-            .find(|((m, d), _)| *m == model && *d == defense_label)
-            .map(|(_, w)| *w)
+        let find = |d: &str| {
+            reference
+                .iter()
+                .find(|((m, label), _)| *m == model && *label == d)
+                .map(|(_, w)| *w)
+        };
+        find(defense_label)
+            .or_else(|| find("on"))
             .expect("fraction sweep starts at 0")
     };
     for ((model, defense_label, frac, coordination), r) in labels.iter().zip(&reports) {
@@ -143,8 +174,9 @@ mod tests {
     #[test]
     fn e11_covers_the_full_frontier() {
         let t = e11_adversaries(Scale::Smoke);
-        // 4 models × 2 defenses × (1 clean + 1 fraction × 2 coords).
-        assert_eq!(t.rows().len(), 4 * 2 * 3);
+        // 4 models × 2 defenses × (1 clean + 1 fraction × 2 coords),
+        // plus the 5-rung rate-cap ladder.
+        assert_eq!(t.rows().len(), 4 * 2 * 3 + 5);
         for model in ModelKind::ALL {
             for defense in ["off", "on"] {
                 let rows = t
@@ -196,5 +228,31 @@ mod tests {
         assert!(num(&attacked[5]) < 1.0, "attacked decision accuracy");
         assert!(num(&attacked[7]) > 0.0, "attacked honest losses");
         assert!(num(&attacked[8]) < 1.0, "attacked efficiency");
+    }
+
+    /// The rate-cap ladder: one row per cap at the hardest arm, every
+    /// metric finite and within range — and capping at all (cap=8) must
+    /// not do worse than no cap against a Sybil-amplified flood.
+    #[test]
+    fn e11_defense_ladder_has_a_rung_per_cap() {
+        let t = e11_adversaries(Scale::Smoke);
+        let rung = |label: &str| {
+            t.rows()
+                .iter()
+                .find(|r| text(&r[1]) == label)
+                .unwrap_or_else(|| panic!("missing ladder rung {label}"))
+                .clone()
+        };
+        for label in ["cap=1", "cap=2", "cap=4", "cap=8", "cap=inf"] {
+            let row = rung(label);
+            assert_eq!(text(&row[0]), "mean");
+            assert!((num(&row[3]) - 1.0).abs() < 1e-12, "full coordination");
+            assert!((0.0..=1.0).contains(&num(&row[4])), "rank acc: {row:?}");
+            assert!(num(&row[8]).is_finite(), "efficiency: {row:?}");
+        }
+        assert!(
+            num(&rung("cap=8")[4]) >= num(&rung("cap=inf")[4]) - 0.05,
+            "a sane cap must not lose rank accuracy vs uncapped"
+        );
     }
 }

@@ -10,6 +10,7 @@
 use crate::table::Table;
 
 mod adversary;
+mod chaos;
 mod community;
 mod exchange;
 mod pipeline;
@@ -17,6 +18,7 @@ mod service;
 pub(crate) mod storage;
 
 pub use adversary::e11_adversaries;
+pub use chaos::e14_chaos;
 pub use community::{e4_strategies, e5_trust_accuracy, e8_marketplace, e9_convergence};
 pub use exchange::{e1_existence, e2_scaling, e3_relaxation, e7_exposure};
 pub use pipeline::e0_pipeline;
@@ -56,7 +58,7 @@ pub struct Experiment {
 }
 
 /// All experiments in presentation order.
-pub const ALL: [Experiment; 14] = [
+pub const ALL: [Experiment; 15] = [
     Experiment {
         id: "e0",
         title: "Figure R1: reference-model pipeline end-to-end",
@@ -127,6 +129,11 @@ pub const ALL: [Experiment; 14] = [
         title: "Table R7: durable evidence (warm start, crash recovery, log replay)",
         run: e13_persistence,
     },
+    Experiment {
+        id: "e14",
+        title: "Table R8: message-level chaos (loss/partition × retry + degradation)",
+        run: e14_chaos,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -140,11 +147,11 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(ALL.len(), 14);
+        assert_eq!(ALL.len(), 15);
         let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
     }
 
     #[test]
@@ -156,6 +163,7 @@ mod tests {
         );
         assert!(find("e12").is_some());
         assert!(find("e13").is_some(), "durable evidence is registered");
+        assert!(find("e14").is_some(), "the chaos sweep is registered");
         assert_eq!(find("e0").unwrap().id, "e0");
     }
 

@@ -47,7 +47,9 @@ pub mod prelude {
     pub use crate::persistence::{restore_service, snapshot_service, SERVICE_MAGIC};
     pub use crate::population::{AnyModel, Community, CommunitySnapshot, DefenseConfig, ModelKind};
     pub use crate::replay::{replay, ReplayCheck, ReplayConfig, ReplayReport};
-    pub use crate::sim::{MarketConfig, MarketReport, MarketSim, RoundStats};
+    pub use crate::sim::{
+        ChaosConfig, MarketConfig, MarketReport, MarketSim, RoundStats, ROUND_SPAN,
+    };
     pub use crate::strategy::{plan, NoTrade, Strategy};
     pub use crate::table::{Cell, Table};
     pub use crate::workload::Workload;

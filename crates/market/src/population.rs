@@ -155,6 +155,15 @@ impl TrustModel for AnyModel {
         }
     }
 
+    fn predict_direct_only(&self, subject: PeerId) -> Option<TrustEstimate> {
+        match self {
+            AnyModel::Beta(m) => m.predict_direct_only(subject),
+            AnyModel::Complaints(m) => m.predict_direct_only(subject),
+            AnyModel::Mean(m) => m.predict_direct_only(subject),
+            AnyModel::Ewma(m) => m.predict_direct_only(subject),
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self {
             AnyModel::Beta(m) => m.name(),
@@ -309,6 +318,69 @@ pub struct Community {
     /// The round `witness_filed` counts; lazily reset when a report from
     /// a different round arrives.
     rate_round: u64,
+    /// Per-(evaluator, subject) direct-experience ledger backing the
+    /// degraded-mode fallback; only allocated for chaos runs.
+    direct: Option<Arc<DirectLedger>>,
+    /// When set, predictions use direct evidence only — the graceful
+    /// degradation the market engages while the witness quorum is
+    /// unreachable, instead of trusting estimates that silently read
+    /// lost gossip as absence of complaints.
+    degraded: bool,
+}
+
+/// Dense per-(evaluator, subject) counts of direct experiences —
+/// `(honest, total)` — kept outside the trust models so degraded-mode
+/// fallback needs no change to any model's persisted state.
+#[derive(Debug, Clone)]
+pub struct DirectLedger {
+    n: usize,
+    counts: Vec<(u32, u32)>,
+}
+
+impl DirectLedger {
+    fn new(n: usize) -> DirectLedger {
+        DirectLedger {
+            n,
+            counts: vec![(0, 0); n * n],
+        }
+    }
+
+    fn observe(&mut self, evaluator: PeerId, subject: PeerId, conduct: Conduct) {
+        let slot = &mut self.counts[evaluator.index() * self.n + subject.index()];
+        if conduct.is_honest() {
+            slot.0 += 1;
+        }
+        slot.1 += 1;
+    }
+
+    /// Laplace-smoothed direct-only estimate, or `None` when the
+    /// evaluator has never interacted with the subject.
+    fn estimate(&self, evaluator: PeerId, subject: PeerId) -> Option<TrustEstimate> {
+        let (honest, total) = self.counts[evaluator.index() * self.n + subject.index()];
+        if total == 0 {
+            return None;
+        }
+        let p = (f64::from(honest) + 1.0) / (f64::from(total) + 2.0);
+        let confidence = f64::from(total) / (f64::from(total) + 4.0);
+        Some(TrustEstimate::new(p, confidence))
+    }
+}
+
+/// Degraded-mode estimate for one `(model, ledger)` pair: the model's
+/// own separable direct view when it has one, else the community's
+/// direct ledger, else maximum ignorance.
+fn degraded_estimate(
+    model: &AnyModel,
+    direct: Option<&DirectLedger>,
+    evaluator: PeerId,
+    subject: PeerId,
+) -> TrustEstimate {
+    if let Some(est) = model.predict_direct_only(subject) {
+        return est;
+    }
+    direct
+        .and_then(|l| l.estimate(evaluator, subject))
+        .unwrap_or(TrustEstimate::UNKNOWN)
 }
 
 /// An immutable view of every agent's trust model, taken with
@@ -321,17 +393,33 @@ pub struct Community {
 #[derive(Debug, Clone)]
 pub struct CommunitySnapshot {
     models: Vec<Arc<AnyModel>>,
+    direct: Option<Arc<DirectLedger>>,
+    degraded: bool,
 }
 
 impl CommunitySnapshot {
     /// `evaluator`'s trust estimate of `subject` at snapshot time.
     pub fn predict(&self, evaluator: PeerId, subject: PeerId) -> TrustEstimate {
+        if self.degraded {
+            return degraded_estimate(
+                &self.models[evaluator.index()],
+                self.direct.as_deref(),
+                evaluator,
+                subject,
+            );
+        }
         self.models[evaluator.index()].predict(subject)
     }
 
     /// Fills `out[i]` with `evaluator`'s estimate of subject `PeerId(i)`
     /// in one dense-table sweep.
     pub fn predict_row_into(&self, evaluator: PeerId, out: &mut [TrustEstimate]) {
+        if self.degraded {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.predict(evaluator, PeerId(i as u32));
+            }
+            return;
+        }
         self.models[evaluator.index()].predict_row_into(out);
     }
 }
@@ -362,7 +450,37 @@ impl Community {
             defense,
             witness_filed: vec![0; n],
             rate_round: 0,
+            direct: None,
+            degraded: false,
         }
+    }
+
+    /// Allocates the direct-experience ledger that degraded mode falls
+    /// back on. Chaos runs call this up front so every direct
+    /// interaction is ledgered from round zero; without it,
+    /// [`Community::set_degraded`] still works but evaluators whose
+    /// model cannot separate direct evidence degrade all the way to
+    /// [`TrustEstimate::UNKNOWN`].
+    pub fn enable_direct_ledger(&mut self) {
+        if self.direct.is_none() {
+            self.direct = Some(Arc::new(DirectLedger::new(self.len())));
+        }
+    }
+
+    /// Switches direct-evidence-only (degraded) prediction on or off.
+    ///
+    /// The market flips this when the fraction of witness gossip
+    /// actually delivered falls below the quorum threshold — the
+    /// graceful-degradation contract: rather than silently treating
+    /// undelivered complaints as evidence of good behaviour, evaluators
+    /// stop consuming the witness channel until it heals.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.degraded = on;
+    }
+
+    /// Whether degraded (direct-only) prediction is active.
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Takes an immutable snapshot of every agent's model: one `Arc`
@@ -372,6 +490,8 @@ impl Community {
     pub fn snapshot(&self) -> CommunitySnapshot {
         CommunitySnapshot {
             models: self.models.clone(),
+            direct: self.direct.clone(),
+            degraded: self.degraded,
         }
     }
 
@@ -399,8 +519,17 @@ impl Community {
         &self.models[agent.index()]
     }
 
-    /// `evaluator`'s trust estimate of `subject`.
+    /// `evaluator`'s trust estimate of `subject`; direct evidence only
+    /// while degraded mode is active (see [`Community::set_degraded`]).
     pub fn predict(&self, evaluator: PeerId, subject: PeerId) -> TrustEstimate {
+        if self.degraded {
+            return degraded_estimate(
+                &self.models[evaluator.index()],
+                self.direct.as_deref(),
+                evaluator,
+                subject,
+            );
+        }
         self.models[evaluator.index()].predict(subject)
     }
 
@@ -413,6 +542,12 @@ impl Community {
     ///
     /// Panics if `evaluator` is out of range.
     pub fn predict_row_into(&self, evaluator: PeerId, out: &mut [TrustEstimate]) {
+        if self.degraded {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.predict(evaluator, PeerId(i as u32));
+            }
+            return;
+        }
         self.models[evaluator.index()].predict_row_into(out);
     }
 
@@ -439,6 +574,9 @@ impl Community {
         conduct: Conduct,
         round: u64,
     ) {
+        if let Some(ledger) = &mut self.direct {
+            Arc::make_mut(ledger).observe(evaluator, subject, conduct);
+        }
         let model = Arc::make_mut(&mut self.models[evaluator.index()]);
         model.record_direct(subject, conduct, round);
         if let Some(reports) = self.pending.take(evaluator, subject) {
@@ -544,6 +682,54 @@ mod tests {
             let after = c.predict(a, b).p_honest;
             assert!(after < before, "{kind:?}: {before} -> {after}");
         }
+    }
+
+    #[test]
+    fn degraded_mode_falls_back_to_the_direct_ledger() {
+        let mut c = community(ModelKind::Mean);
+        c.enable_direct_ledger();
+        let (eval, subject, witness) = (PeerId(0), PeerId(1), PeerId(2));
+        for r in 0..6 {
+            c.record_direct(eval, subject, Conduct::Honest, r);
+        }
+        // A slander campaign the evaluator never corroborated drags the
+        // normal (witness-polluted) estimate down...
+        for r in 0..20 {
+            c.deliver_witness_report(
+                eval,
+                WitnessReport {
+                    witness,
+                    subject,
+                    conduct: Conduct::Dishonest,
+                    round: r,
+                },
+            );
+        }
+        let normal = c.predict(eval, subject);
+        c.set_degraded(true);
+        assert!(c.degraded());
+        let degraded = c.predict(eval, subject);
+        // ...while the degraded estimate sees only the 6 honest direct
+        // interactions: Laplace (6+1)/(6+2).
+        assert!(degraded.p_honest > normal.p_honest);
+        assert!((degraded.p_honest - 7.0 / 8.0).abs() < 1e-12);
+        // Subjects never met directly degrade to maximum ignorance.
+        assert_eq!(c.predict(eval, PeerId(7)), TrustEstimate::UNKNOWN);
+        // The row sweep agrees bit-for-bit with per-cell predictions.
+        let mut row = vec![TrustEstimate::UNKNOWN; c.len()];
+        c.predict_row_into(eval, &mut row);
+        for (i, got) in row.iter().enumerate() {
+            assert_eq!(*got, c.predict(eval, PeerId(i as u32)));
+        }
+        // Snapshots carry the degraded view; healing restores the
+        // full-evidence prediction untouched.
+        let snap = c.snapshot();
+        assert_eq!(snap.predict(eval, subject), degraded);
+        let mut snap_row = vec![TrustEstimate::UNKNOWN; c.len()];
+        snap.predict_row_into(eval, &mut snap_row);
+        assert_eq!(snap_row, row);
+        c.set_degraded(false);
+        assert_eq!(c.predict(eval, subject), normal);
     }
 
     #[test]

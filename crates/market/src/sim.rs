@@ -31,6 +31,7 @@ use crate::population::{Community, CommunitySnapshot, DefenseConfig, ModelKind};
 use crate::strategy::{plan, Strategy};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use trustex_agents::adversary::Faction;
 use trustex_agents::profile::PopulationMix;
 use trustex_agents::reporting::Campaign;
@@ -38,9 +39,52 @@ use trustex_core::deal::Deal;
 use trustex_core::execute::{execute, ExchangeOutcome, ExchangeStatus};
 use trustex_core::policy::PaymentPolicy;
 use trustex_core::state::Role;
+use trustex_netsim::backoff::RetryPolicy;
+use trustex_netsim::event::EventQueue;
+use trustex_netsim::fault::{FaultConfig, FaultFate, FaultPlane};
 use trustex_netsim::pool::{parallel_map, resolve_threads};
 use trustex_netsim::rng::SimRng;
+use trustex_netsim::time::SimTime;
 use trustex_trust::model::{Conduct, PeerId, WitnessReport};
+
+/// Virtual wall-clock span of one market round — the time base the
+/// fault plane's partition episodes and the retransmission backoff are
+/// scheduled against.
+pub const ROUND_SPAN: SimTime = SimTime::from_millis(10);
+
+/// Witness-delivery fraction below which evaluators degrade to
+/// direct-evidence-only prediction (when the chaos config opts in).
+const WITNESS_QUORUM: f64 = 0.5;
+
+/// Bounded retransmission budget for lost witness reports: doubling
+/// from 2 ms to a 64 ms ceiling across up to 10 attempts spans several
+/// rounds, enough to straddle the partition heals e14 schedules.
+const RETX_POLICY: RetryPolicy = RetryPolicy {
+    max_attempts: 10,
+    base_us: 2_000,
+    cap_us: 64_000,
+};
+
+/// Retransmission queue bound; entries past it are dropped (counted).
+/// Sized for paper scale: a 150-agent run under a 20-round bisect holds
+/// every cross-partition emission on backoff at once, which overflows a
+/// 4 096-entry queue and silently halves the defended delivery rate.
+const RETX_QUEUE_CAP: usize = 65_536;
+
+/// Chaos knobs for a market run: witness gossip is delivered through a
+/// seeded fault plane, with optional bounded retransmission of lost
+/// reports and optional quorum-gated graceful degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// The fault plane's knobs (loss, duplication, delay, partitions);
+    /// the plane itself is seeded from the market seed.
+    pub fault: FaultConfig,
+    /// Retransmit lost/blocked reports on a bounded backoff schedule.
+    pub retry: bool,
+    /// Fall back to direct-evidence-only prediction while the witness
+    /// quorum is unreachable, instead of treating silence as absence.
+    pub degrade: bool,
+}
 
 /// Configuration of one market simulation.
 #[derive(Debug, Clone)]
@@ -70,6 +114,10 @@ pub struct MarketConfig {
     pub defense: DefenseConfig,
     /// Record O(n²) trust metrics every round (else only at the end).
     pub track_trust_per_round: bool,
+    /// Message-level chaos: deliver witness gossip through a fault
+    /// plane. `None` (the default) bypasses the plane entirely and is
+    /// bit-identical to the pre-chaos delivery path.
+    pub chaos: Option<ChaosConfig>,
     /// Worker threads for the sharded session executor (0 = auto via
     /// [`trustex_netsim::pool::default_threads`]). Any value yields the
     /// same report; only wall-clock time changes.
@@ -91,6 +139,7 @@ impl Default for MarketConfig {
             seed: 42,
             defense: DefenseConfig::default(),
             track_trust_per_round: false,
+            chaos: None,
             threads: 0,
         }
     }
@@ -144,6 +193,12 @@ pub struct MarketReport {
     pub final_rank_accuracy: f64,
     /// Final decision accuracy (threshold 0.5).
     pub final_decision_accuracy: f64,
+    /// Witness-report emissions attempted (one per logical report and
+    /// target, retransmissions excluded).
+    pub witness_attempted: u64,
+    /// Witness-report emissions that reached the target's model (first
+    /// copy only; rate-capped and faulted deliveries excluded).
+    pub witness_delivered: u64,
 }
 
 impl MarketReport {
@@ -171,6 +226,15 @@ impl MarketReport {
             0.0
         } else {
             self.total_welfare / self.sessions as f64
+        }
+    }
+
+    /// Delivered / attempted witness emissions (1.0 when none attempted).
+    pub fn witness_delivery_rate(&self) -> f64 {
+        if self.witness_attempted == 0 {
+            1.0
+        } else {
+            self.witness_delivered as f64 / self.witness_attempted as f64
         }
     }
 }
@@ -271,6 +335,18 @@ fn pick_other(pool: &[PeerId], exclude: PeerId, rng: &mut SimRng) -> Option<Peer
     }
 }
 
+/// One lost witness report awaiting retransmission.
+#[derive(Debug, Clone, Copy)]
+struct RetxEntry {
+    /// The original emission's sequence number — the dedup key, so a
+    /// retransmission can never double-deliver.
+    emission: u64,
+    target: PeerId,
+    report: WitnessReport,
+    /// Failed wire attempts so far (original send included).
+    attempts: u32,
+}
+
 /// The simulation driver.
 #[derive(Debug)]
 pub struct MarketSim {
@@ -284,6 +360,24 @@ pub struct MarketSim {
     /// Ground-truth cooperation probabilities, fixed at construction and
     /// reused by every per-round MAE evaluation.
     truth: Vec<f64>,
+    /// The witness-gossip fault plane, when chaos is configured.
+    plane: Option<FaultPlane>,
+    /// Monotone per-emission sequence; keys every fault decision and,
+    /// paired with the issuer, the `(issuer, seq)` delivery dedup.
+    gossip_seq: u64,
+    /// Emissions whose report already reached its target — duplicates
+    /// and late retransmissions of these are suppressed.
+    seen: HashSet<(u32, u64)>,
+    /// Bounded retransmission queue for lost/blocked reports, drained
+    /// on the virtual clock at each round boundary.
+    retx: EventQueue<RetxEntry>,
+    /// Retransmissions dropped because the queue was full.
+    retx_overflow: u64,
+    witness_attempted: u64,
+    witness_delivered: u64,
+    /// Current-round emission/delivery counts driving the quorum gate.
+    round_attempted: u64,
+    round_delivered: u64,
 }
 
 impl MarketSim {
@@ -301,8 +395,20 @@ impl MarketSim {
             cfg.n_agents
         );
         let mut rng = SimRng::new(cfg.seed);
-        let community =
+        let mut community =
             Community::with_defense(cfg.n_agents, &cfg.mix, cfg.model, cfg.defense, &mut rng);
+        // The plane seed derives from the run seed through a fixed salt
+        // (a pure hash, no draw), so chaos runs replay bit-for-bit and
+        // chaos-free runs consume an unchanged RNG stream.
+        let plane = cfg.chaos.map(|chaos| {
+            FaultPlane::new(
+                trustex_netsim::backoff::splitmix64(cfg.seed ^ 0xC4A0_5C4A_05C4_A05C),
+                chaos.fault,
+            )
+        });
+        if cfg.chaos.is_some_and(|c| c.degrade) {
+            community.enable_direct_ledger();
+        }
         let coordination = Coordination::scan(&community);
         let truth = cooperation_truth(&community);
         MarketSim {
@@ -313,6 +419,15 @@ impl MarketSim {
             honest_gain: 0.0,
             dishonest_gain: 0.0,
             truth,
+            plane,
+            gossip_seq: 0,
+            seen: HashSet::new(),
+            retx: EventQueue::new(),
+            retx_overflow: 0,
+            witness_attempted: 0,
+            witness_delivered: 0,
+            round_attempted: 0,
+            round_delivered: 0,
         }
     }
 
@@ -338,6 +453,8 @@ impl MarketSim {
             final_mae: 0.0,
             final_rank_accuracy: 0.0,
             final_decision_accuracy: 0.0,
+            witness_attempted: 0,
+            witness_delivered: 0,
         };
         for round in 0..self.cfg.rounds {
             let stats = self.run_round(round, threads);
@@ -359,6 +476,8 @@ impl MarketSim {
         report.final_mae = accuracy.mae;
         report.final_rank_accuracy = accuracy.rank_accuracy;
         report.final_decision_accuracy = accuracy.decision_accuracy;
+        report.witness_attempted = self.witness_attempted;
+        report.witness_delivered = self.witness_delivered;
         report.per_round = per_round;
         report
     }
@@ -433,7 +552,15 @@ impl MarketSim {
         SessionOutcome::Traded(outcome)
     }
 
+    /// Virtual time of a round's start on the fault-plane clock.
+    fn round_time(round: u64) -> SimTime {
+        SimTime::from_micros(round * ROUND_SPAN.as_micros())
+    }
+
     fn run_round(&mut self, round: u64, threads: usize) -> RoundStats {
+        // Retransmissions scheduled by earlier rounds whose backoff has
+        // elapsed go out before this round's sessions read trust state.
+        self.pump_retx(round);
         let n = self.community.len();
         let mut stats = RoundStats {
             round,
@@ -612,6 +739,16 @@ impl MarketSim {
                 self.community.whitewash(agent);
             }
         }
+        // Graceful degradation: when this round's witness gossip fell
+        // below the delivery quorum, the *next* round's predictions use
+        // direct evidence only — silence must not read as absence.
+        if self.cfg.chaos.is_some_and(|c| c.degrade) {
+            let degraded = self.round_attempted > 0
+                && (self.round_delivered as f64) < WITNESS_QUORUM * self.round_attempted as f64;
+            self.community.set_degraded(degraded);
+            self.round_attempted = 0;
+            self.round_delivered = 0;
+        }
         if self.cfg.track_trust_per_round {
             stats.trust_mae = Some(trust_mae_with_truth_threads(
                 &self.community,
@@ -688,7 +825,7 @@ impl MarketSim {
             })
             .collect();
         for &target in &targets {
-            self.community.deliver_witness_report(
+            self.transmit_report(
                 target,
                 WitnessReport {
                     witness,
@@ -701,10 +838,13 @@ impl MarketSim {
         // Sybil amplification: up to `fanout` clones from the witness's
         // cell echo the report under their own identities to the same
         // targets. No RNG is drawn, so populations without Sybils replay
-        // bit-identical streams.
+        // bit-identical streams. (Each echo is its own emission on the
+        // wire — the fault plane treats it like any other message.)
         if let Faction::Sybil { cell, fanout } = self.community.profile(witness).faction {
             let mut echoes = 0usize;
-            for &clone in &self.coordination.cells[cell as usize] {
+            let mut cursor = 0usize;
+            while let Some(&clone) = self.coordination.cells[cell as usize].get(cursor) {
+                cursor += 1;
                 if echoes >= fanout as usize {
                     break;
                 }
@@ -716,7 +856,7 @@ impl MarketSim {
                     if target == clone {
                         continue;
                     }
-                    self.community.deliver_witness_report(
+                    self.transmit_report(
                         target,
                         WitnessReport {
                             witness: clone,
@@ -729,6 +869,97 @@ impl MarketSim {
             }
         }
         targets
+    }
+
+    /// Sends one witness-report emission over the (possibly faulty)
+    /// wire. Without a chaos plane this is a plain delivery — the exact
+    /// pre-chaos path, no extra RNG draws, no sequence numbers burned.
+    fn transmit_report(&mut self, target: PeerId, report: WitnessReport) {
+        self.witness_attempted += 1;
+        self.round_attempted += 1;
+        let Some(plane) = self.plane else {
+            if self.community.deliver_witness_report(target, report) {
+                self.witness_delivered += 1;
+                self.round_delivered += 1;
+            }
+            return;
+        };
+        let emission = self.gossip_seq;
+        self.gossip_seq += 1;
+        let at = Self::round_time(report.round);
+        match plane.decide(report.witness.0, target.0, emission, at) {
+            FaultFate::Deliver { duplicates, .. } => {
+                // Every wire copy arrives; the (issuer, seq) dedup
+                // admits only the first into the target's model.
+                for _ in 0..=duplicates {
+                    self.deliver_once(emission, target, report);
+                }
+            }
+            FaultFate::Lost | FaultFate::Blocked => {
+                if self.cfg.chaos.is_some_and(|c| c.retry) {
+                    self.schedule_retx(
+                        RetxEntry {
+                            emission,
+                            target,
+                            report,
+                            attempts: 1,
+                        },
+                        at,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Delivers one wire copy, deduplicated on `(issuer, emission)` so
+    /// plane duplicates and late retransmissions never double-count a
+    /// report's feedback effects.
+    fn deliver_once(&mut self, emission: u64, target: PeerId, report: WitnessReport) {
+        if !self.seen.insert((report.witness.0, emission)) {
+            return;
+        }
+        if self.community.deliver_witness_report(target, report) {
+            self.witness_delivered += 1;
+            self.round_delivered += 1;
+        }
+    }
+
+    /// Queues a retransmission after the emission's backoff delay
+    /// (deterministic jitter keyed on the emission sequence), bounded
+    /// by the queue capacity.
+    fn schedule_retx(&mut self, entry: RetxEntry, now: SimTime) {
+        if self.retx.len() >= RETX_QUEUE_CAP {
+            self.retx_overflow += 1;
+            return;
+        }
+        let wait = RETX_POLICY.timeout(entry.attempts, entry.emission);
+        self.retx.push(now + wait, entry);
+    }
+
+    /// Drains every retransmission due by the start of `round`: each
+    /// gets a fresh wire attempt through the plane, re-queueing on
+    /// failure until the policy's attempt budget runs out.
+    fn pump_retx(&mut self, round: u64) {
+        let Some(plane) = self.plane else { return };
+        let now = Self::round_time(round);
+        while self.retx.peek_time().is_some_and(|t| t <= now) {
+            let (due, mut entry) = self.retx.pop().expect("peeked entry");
+            let wire_seq = self.gossip_seq;
+            self.gossip_seq += 1;
+            match plane.decide(entry.report.witness.0, entry.target.0, wire_seq, due) {
+                FaultFate::Deliver { .. } => {
+                    self.deliver_once(entry.emission, entry.target, entry.report);
+                }
+                FaultFate::Lost | FaultFate::Blocked => {
+                    entry.attempts += 1;
+                    if RETX_POLICY.allows(entry.attempts) {
+                        self.schedule_retx(entry, due);
+                    } else {
+                        self.retx_overflow += 1;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -1138,6 +1369,112 @@ mod tests {
         })
         .run();
         assert_eq!(zoo, baseline);
+    }
+
+    /// A zero-fault chaos plane must be a perfect no-op: the report —
+    /// counters, welfare, accuracy, every per-round row — is bit-equal
+    /// to the plane-absent run, with retry and degradation both armed.
+    #[test]
+    fn zero_fault_plane_is_bit_identical_to_no_plane() {
+        let clean = MarketSim::new(smoke_cfg(Strategy::TrustAware)).run();
+        for (retry, degrade) in [(false, false), (true, true)] {
+            let chaotic = MarketSim::new(MarketConfig {
+                chaos: Some(ChaosConfig {
+                    fault: FaultConfig::default(),
+                    retry,
+                    degrade,
+                }),
+                ..smoke_cfg(Strategy::TrustAware)
+            })
+            .run();
+            assert_eq!(
+                chaotic, clean,
+                "zero-fault plane (retry={retry}, degrade={degrade}) diverged"
+            );
+        }
+    }
+
+    /// A report blocked by a live partition is retransmitted on the
+    /// backoff schedule and lands exactly once after the heal — never
+    /// zero times (the retry straddles the heal) and never twice (the
+    /// emission dedup suppresses late copies).
+    #[test]
+    fn retransmission_straddles_a_partition_heal_and_delivers_once() {
+        let heal_at = SimTime::from_millis(5);
+        let cfg = MarketConfig {
+            n_agents: 8,
+            chaos: Some(ChaosConfig {
+                fault: FaultConfig {
+                    partition: trustex_netsim::fault::PartitionSpec::Bisect { heal_at },
+                    ..FaultConfig::default()
+                },
+                retry: true,
+                degrade: false,
+            }),
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(cfg);
+        let plane = sim.plane.expect("chaos configured");
+        // Find a cross-partition pair: blocked now, open after the heal.
+        let (witness, target) = (0..8u32)
+            .flat_map(|a| (0..8u32).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && plane.blocked(a, b, SimTime::ZERO))
+            .expect("a bisection always splits 8 peers");
+        let report = WitnessReport {
+            witness: PeerId(witness),
+            subject: PeerId((witness + 1) % 8),
+            conduct: Conduct::Dishonest,
+            round: 0,
+        };
+        sim.transmit_report(PeerId(target), report);
+        assert_eq!(sim.witness_attempted, 1);
+        assert_eq!(sim.witness_delivered, 0, "blocked by the live partition");
+        assert_eq!(sim.retx.len(), 1, "the lost emission must be queued");
+        // Round 1 starts at 10 ms — past the heal; the pump drains the
+        // backoff chain (retries before 5 ms stay blocked) to delivery.
+        sim.pump_retx(1);
+        assert_eq!(sim.witness_delivered, 1, "the retry must land post-heal");
+        assert_eq!(sim.community.pending_report_count(), 1);
+        assert_eq!(sim.retx.len(), 0);
+        // Idempotent: nothing left to pump, nothing double-delivered.
+        sim.pump_retx(2);
+        assert_eq!(sim.witness_delivered, 1);
+        assert_eq!(sim.community.pending_report_count(), 1);
+    }
+
+    /// Wire duplication delivers extra copies of the same emission; the
+    /// `(issuer, emission)` dedup admits exactly one into the model.
+    #[test]
+    fn duplicated_wire_copies_are_suppressed_by_dedup() {
+        let cfg = MarketConfig {
+            n_agents: 6,
+            chaos: Some(ChaosConfig {
+                fault: FaultConfig {
+                    duplicate: 1.0,
+                    ..FaultConfig::default()
+                },
+                retry: false,
+                degrade: false,
+            }),
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(cfg);
+        for round in 0..5 {
+            let report = WitnessReport {
+                witness: PeerId(0),
+                subject: PeerId(1),
+                conduct: Conduct::Honest,
+                round,
+            };
+            sim.transmit_report(PeerId(2), report);
+        }
+        assert_eq!(sim.witness_attempted, 5);
+        assert_eq!(sim.witness_delivered, 5, "first copies all arrive");
+        assert_eq!(
+            sim.community.pending_report_count(),
+            5,
+            "duplicate wire copies must not double-deliver"
+        );
     }
 
     /// The hand-built independent mix `zoo_mix(f, 0)` must degrade to:

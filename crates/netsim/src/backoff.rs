@@ -1,0 +1,182 @@
+//! Shared exponential-backoff arithmetic with overflow saturation.
+//!
+//! Extracted from the reputation lifecycle's rejoin scheduler so the
+//! PR 8 overflow fix (`base << shift` silently wrapping to zero once the
+//! shift reaches the word width) lives in exactly one place. Both the
+//! lifecycle's rejoin pacing and the fault-plane retry paths
+//! ([`RetryPolicy`]) compute their delays through [`backoff_delay`].
+//!
+//! All arithmetic here is pure — no RNG draws. [`RetryPolicy::timeout`]
+//! derives its jitter from a caller-provided salt via a SplitMix64
+//! finalizer, so retry schedules are bit-replayable at every thread
+//! count and never perturb the simulation's shared random streams.
+
+use crate::time::SimTime;
+
+/// `base << shift`, saturating to `u64::MAX` instead of wrapping.
+///
+/// A plain `<<` on `u64` wraps silently once `shift` exceeds the
+/// headroom (`2u64 << 63 == 0`), which is exactly the bug the rejoin
+/// scheduler hit at high attempt counts.
+pub fn saturating_shl(base: u64, shift: u32) -> u64 {
+    if base == 0 {
+        0
+    } else if shift > base.leading_zeros() {
+        u64::MAX
+    } else {
+        base << shift
+    }
+}
+
+/// The capped exponential backoff delay for the `attempts`-th attempt.
+///
+/// Attempt 1 waits `base`, attempt 2 waits `2·base`, doubling up to
+/// `cap`; the result is clamped to at least 1 so a zero base still
+/// makes forward progress. Saturates instead of overflowing for any
+/// `attempts`, including `u32::MAX`.
+pub fn backoff_delay(base: u64, cap: u64, attempts: u32) -> u64 {
+    cap.min(saturating_shl(base, attempts.saturating_sub(1)))
+        .max(1)
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed pure hash of one word.
+///
+/// Used for deterministic jitter and by the fault plane's per-message
+/// fate decisions — anywhere a replayable pseudo-random value must be a
+/// pure function of its inputs rather than a draw from a shared stream.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded-retry schedule for one message path: exponential backoff
+/// between attempts plus deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff base: the wait after the first failed attempt, in
+    /// microseconds.
+    pub base_us: u64,
+    /// Backoff ceiling in microseconds (pre-jitter).
+    pub cap_us: u64,
+}
+
+impl RetryPolicy {
+    /// A conservative default: up to 7 attempts, 4 ms doubling to 64 ms.
+    ///
+    /// Worst-case cumulative wait ≈ 4+8+16+32+64+64 = 188 ms, enough for
+    /// retries to straddle the partition-heal horizons the chaos
+    /// experiments schedule.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 7,
+            base_us: 4_000,
+            cap_us: 64_000,
+        }
+    }
+
+    /// Whether another attempt is allowed after `attempts` have failed.
+    pub fn allows(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+
+    /// The wait before retrying once `attempts` attempts have failed:
+    /// [`backoff_delay`] plus up to 25 % deterministic jitter keyed on
+    /// `salt` (hash the link endpoints and attempt number in — distinct
+    /// links desynchronize instead of thundering in lockstep).
+    pub fn timeout(&self, attempts: u32, salt: u64) -> SimTime {
+        let delay = backoff_delay(self.base_us, self.cap_us, attempts);
+        let jitter_span = delay / 4 + 1;
+        let jitter = splitmix64(salt ^ u64::from(attempts)) % jitter_span;
+        SimTime::from_micros(delay.saturating_add(jitter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_saturates_at_word_width() {
+        assert_eq!(saturating_shl(2, 62), 1 << 63);
+        assert_eq!(saturating_shl(2, 63), u64::MAX);
+        assert_eq!(saturating_shl(2, 64), u64::MAX);
+        assert_eq!(saturating_shl(1, 63), 1 << 63);
+        assert_eq!(saturating_shl(1, 64), u64::MAX);
+        assert_eq!(saturating_shl(0, u32::MAX), 0);
+        assert_eq!(saturating_shl(u64::MAX, 0), u64::MAX);
+        assert_eq!(saturating_shl(u64::MAX, 1), u64::MAX);
+    }
+
+    /// The satellite's boundary ladder: attempts {63, 64, 65, u32::MAX}
+    /// all pin to the cap instead of wrapping through zero.
+    #[test]
+    fn backoff_boundary_attempts_pin_to_cap() {
+        let base = 2;
+        let cap = 1_000_000;
+        let ramp = backoff_delay(base, cap, 4);
+        assert_eq!(ramp, 16); // 2 << 3, still on the ramp
+        for attempts in [63, 64, 65, u32::MAX] {
+            assert_eq!(
+                backoff_delay(base, cap, attempts),
+                cap,
+                "attempts={attempts}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_floors_at_one() {
+        assert_eq!(backoff_delay(0, 100, 1), 1);
+        assert_eq!(backoff_delay(0, 100, u32::MAX), 1);
+    }
+
+    #[test]
+    fn backoff_first_attempt_is_base() {
+        assert_eq!(backoff_delay(5, 100, 0), 5);
+        assert_eq!(backoff_delay(5, 100, 1), 5);
+        assert_eq!(backoff_delay(5, 100, 2), 10);
+    }
+
+    #[test]
+    fn retry_policy_allows_bounded_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_us: 10,
+            cap_us: 40,
+        };
+        assert!(p.allows(0));
+        assert!(p.allows(2));
+        assert!(!p.allows(3));
+        assert!(!p.allows(u32::MAX));
+    }
+
+    #[test]
+    fn retry_timeout_is_pure_and_jitter_bounded() {
+        let p = RetryPolicy::standard();
+        for attempts in [1, 2, 3, 63, 64, 65, u32::MAX] {
+            let a = p.timeout(attempts, 0xDEAD_BEEF);
+            let b = p.timeout(attempts, 0xDEAD_BEEF);
+            assert_eq!(a, b, "pure function of (attempts, salt)");
+            let floor = backoff_delay(p.base_us, p.cap_us, attempts);
+            let span = a.as_micros() - floor;
+            assert!(span <= floor / 4, "jitter {span} beyond 25% of {floor}");
+        }
+        // Distinct salts actually desynchronize.
+        let a = p.timeout(2, 1).as_micros();
+        let b = p.timeout(2, 2).as_micros();
+        let c = p.timeout(2, 3).as_micros();
+        assert!(a != b || b != c, "jitter never varies across salts");
+    }
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference values from the SplitMix64 paper's test vector
+        // (seed 1234567's first output).
+        assert_eq!(splitmix64(1234567), 6457827717110365317);
+        assert_eq!(splitmix64(0), 16294208416658607535);
+    }
+}

@@ -10,6 +10,12 @@
 //!   stable discrete-event queue (ties broken by insertion order).
 //! * [`net`] — message latency/drop models with per-kind accounting, used
 //!   by the P-Grid reputation storage to count routing messages.
+//! * [`fault`] — a seeded per-link fault plane (loss, duplication, delay
+//!   jitter, partition episodes) whose every decision is a pure function
+//!   of `(seed, src, dst, msg_seq)`, so chaos runs replay bit-for-bit.
+//! * [`backoff`] — shared saturating exponential-backoff arithmetic and
+//!   the deterministic-jitter [`backoff::RetryPolicy`] used by both the
+//!   lifecycle rejoin scheduler and fault-plane retries.
 //! * [`churn`] — node availability timelines (alternating exponential
 //!   up/down periods), used for the churn experiments.
 //! * [`stats`] — small online statistics helpers (Welford mean/variance,
@@ -43,9 +49,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod churn;
 pub mod crc;
 pub mod event;
+pub mod fault;
 pub mod hash;
 pub mod net;
 pub mod pool;
@@ -53,9 +61,11 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use backoff::{backoff_delay, saturating_shl, RetryPolicy};
 pub use churn::{ChurnModel, ChurnTimeline};
 pub use crc::{crc32c, Crc32};
 pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultFate, FaultPlane, PartitionSpec};
 pub use net::{Latency, NetConfig, Network, NodeId};
 pub use pool::{parallel_map, resolve_threads, set_default_threads};
 pub use rng::SimRng;

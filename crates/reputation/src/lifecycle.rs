@@ -49,26 +49,14 @@ impl Default for LifecycleConfig {
     }
 }
 
-/// `base << shift` saturating at `u64::MAX` instead of silently
-/// dropping high bits: `2u64 << 63` is `0`, which would collapse a
-/// late-attempt backoff to the minimum delay instead of the cap.
-fn saturating_shl(base: u64, shift: u32) -> u64 {
-    if base == 0 {
-        0
-    } else if shift > base.leading_zeros() {
-        u64::MAX
-    } else {
-        base << shift
-    }
-}
-
 /// The delay before a ticket's next admission attempt: exponential in
 /// the attempt count, saturating into `backoff_cap` rather than
-/// wrapping, and never less than one tick.
+/// wrapping, and never less than one tick. The saturation arithmetic
+/// (`2u64 << 63 == 0` would collapse late attempts to the minimum
+/// delay) lives in the shared `trustex_netsim::backoff` helper, which
+/// the fault-plane retry paths reuse.
 fn backoff_delay(cfg: &LifecycleConfig, attempts: u32) -> u64 {
-    cfg.backoff_cap
-        .min(saturating_shl(cfg.backoff_base, attempts.saturating_sub(1)))
-        .max(1)
+    trustex_netsim::backoff::backoff_delay(cfg.backoff_base, cfg.backoff_cap, attempts)
 }
 
 /// A queued join request.

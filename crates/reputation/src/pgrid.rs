@@ -76,7 +76,8 @@
 use crate::record::{BitPath, Complaint, Key};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use trustex_netsim::net::{Delivery, Network};
+use trustex_netsim::backoff::RetryPolicy;
+use trustex_netsim::net::{Delivery, Network, NodeId};
 use trustex_netsim::rng::SimRng;
 use trustex_netsim::time::SimTime;
 use trustex_persist::codec::{ByteReader, ByteWriter};
@@ -164,6 +165,12 @@ struct RefEntry {
 
 impl RefEntry {
     const VACANT: RefEntry = RefEntry { peer: 0, stamp: 0 };
+}
+
+/// Jitter salt for a retry on the `from → to` link, so concurrent
+/// retries on distinct links desynchronize deterministically.
+fn link_salt(from: usize, to: usize) -> u64 {
+    ((from as u64) << 32) | (to as u64 & 0xFFFF_FFFF)
 }
 
 /// Receipt for an insert: how it travelled.
@@ -621,6 +628,35 @@ impl PGrid {
         net: &mut Network,
         rng: &mut SimRng,
     ) -> Option<(usize, u32, SimTime)> {
+        self.route_at(origin, key, alive, net, rng, SimTime::ZERO, None)
+    }
+
+    /// [`PGrid::route`] with an explicit virtual start time and an
+    /// optional per-hop retry policy.
+    ///
+    /// `start` anchors every hop's send on the virtual clock (the
+    /// fault plane's partition episodes are time-gated); accumulated
+    /// latency advances it hop by hop. When a hop's message is dropped
+    /// and `retry` is set, the sender waits the policy's timeout
+    /// (exponential backoff + deterministic jitter, accrued into the
+    /// reported latency), fails over to the *next* live reference at
+    /// the same level (alternate-reference failover, wrapping round the
+    /// bucket), and tries again until the policy's attempt budget runs
+    /// out. Because the wait advances the virtual clock, retries can
+    /// straddle a partition's heal time and succeed where the first
+    /// attempt was blocked. With `retry == None` the first drop aborts
+    /// the route exactly as before.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_at(
+        &self,
+        origin: usize,
+        key: Key,
+        alive: Option<&[bool]>,
+        net: &mut Network,
+        rng: &mut SimRng,
+        start: SimTime,
+        retry: Option<&RetryPolicy>,
+    ) -> Option<(usize, u32, SimTime)> {
         let w = self.cfg.key_bits;
         let up = |i: usize| !self.departed[i] && alive.is_none_or(|a| a[i]);
         if !up(origin) {
@@ -644,16 +680,35 @@ impl PGrid {
                 return None; // dead end: no live reference at this level
             }
             let pick = rng.index(live);
-            let next = bucket
-                .iter()
-                .filter(|e| up(e.peer as usize))
-                .nth(pick)
-                .expect("picked within the live count")
-                .peer as usize;
-            match net.send("route", rng) {
-                Delivery::Delivered(d) => latency += d,
-                Delivery::Dropped => return None,
-            }
+            let mut attempts = 0u32;
+            let next = loop {
+                let candidate = bucket
+                    .iter()
+                    .filter(|e| up(e.peer as usize))
+                    .nth((pick + attempts as usize) % live)
+                    .expect("picked within the live count")
+                    .peer as usize;
+                match net.send_link(
+                    "route",
+                    NodeId(current as u32),
+                    NodeId(candidate as u32),
+                    start + latency,
+                    rng,
+                ) {
+                    Delivery::Delivered(d) => {
+                        latency += d;
+                        break candidate;
+                    }
+                    Delivery::Dropped => {
+                        attempts += 1;
+                        let policy = retry?;
+                        if !policy.allows(attempts) {
+                            return None;
+                        }
+                        latency += policy.timeout(attempts, link_salt(current, candidate));
+                    }
+                }
+            };
             hops += 1;
             if hops > hop_limit {
                 return None; // defensive: reference-table inconsistency
@@ -674,6 +729,43 @@ impl PGrid {
         group
     }
 
+    /// One replica fan-out message with optional bounded retry; returns
+    /// the member's total wait (accrued timeouts + final delivery) or
+    /// `None` when the attempt budget is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn fanout_send(
+        &self,
+        kind: &'static str,
+        from: usize,
+        to: usize,
+        at: SimTime,
+        retry: Option<&RetryPolicy>,
+        net: &mut Network,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        let mut waited = SimTime::ZERO;
+        let mut attempts = 0u32;
+        loop {
+            match net.send_link(
+                kind,
+                NodeId(from as u32),
+                NodeId(to as u32),
+                at + waited,
+                rng,
+            ) {
+                Delivery::Delivered(d) => return Some(waited + d),
+                Delivery::Dropped => {
+                    attempts += 1;
+                    let policy = retry?;
+                    if !policy.allows(attempts) {
+                        return None;
+                    }
+                    waited += policy.timeout(attempts, link_salt(from, to));
+                }
+            }
+        }
+    }
+
     /// Inserts a complaint under `key`: routes to a responsible replica,
     /// then pushes the item to the live members of its replica group.
     pub fn insert(
@@ -685,7 +777,27 @@ impl PGrid {
         net: &mut Network,
         rng: &mut SimRng,
     ) -> InsertReceipt {
-        let Some((landing, hops, latency)) = self.route(origin, key, alive, net, rng) else {
+        self.insert_at(origin, key, item, alive, net, rng, SimTime::ZERO, None)
+    }
+
+    /// [`PGrid::insert`] with a virtual start time and optional retry
+    /// (see [`PGrid::route_at`]); replica pushes retry independently,
+    /// each on its own backoff schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_at(
+        &mut self,
+        origin: usize,
+        key: Key,
+        item: Complaint,
+        alive: Option<&[bool]>,
+        net: &mut Network,
+        rng: &mut SimRng,
+        start: SimTime,
+        retry: Option<&RetryPolicy>,
+    ) -> InsertReceipt {
+        let Some((landing, hops, latency)) =
+            self.route_at(origin, key, alive, net, rng, start, retry)
+        else {
             return InsertReceipt {
                 hops: 0,
                 replicas_reached: 0,
@@ -697,9 +809,17 @@ impl PGrid {
         let mut max_extra = SimTime::ZERO;
         for member in group {
             if member != landing {
-                match net.send("replicate", rng) {
-                    Delivery::Delivered(d) => max_extra = max_extra.max(d),
-                    Delivery::Dropped => continue,
+                match self.fanout_send(
+                    "replicate",
+                    landing,
+                    member,
+                    start + latency,
+                    retry,
+                    net,
+                    rng,
+                ) {
+                    Some(d) => max_extra = max_extra.max(d),
+                    None => continue,
                 }
             }
             self.store_insert(member, item);
@@ -721,7 +841,26 @@ impl PGrid {
         net: &mut Network,
         rng: &mut SimRng,
     ) -> QueryResult {
-        let Some((landing, hops, latency)) = self.route(origin, key, alive, net, rng) else {
+        self.query_at(origin, key, alive, net, rng, SimTime::ZERO, None)
+    }
+
+    /// [`PGrid::query`] with a virtual start time and optional retry
+    /// (see [`PGrid::route_at`]); replica probes retry independently,
+    /// each on its own backoff schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_at(
+        &self,
+        origin: usize,
+        key: Key,
+        alive: Option<&[bool]>,
+        net: &mut Network,
+        rng: &mut SimRng,
+        start: SimTime,
+        retry: Option<&RetryPolicy>,
+    ) -> QueryResult {
+        let Some((landing, hops, latency)) =
+            self.route_at(origin, key, alive, net, rng, start, retry)
+        else {
             return QueryResult {
                 hops: 0,
                 answers: Vec::new(),
@@ -733,9 +872,17 @@ impl PGrid {
         let mut max_extra = SimTime::ZERO;
         for member in self.replica_group_for_key(key, alive) {
             if member != landing {
-                match net.send("replica_query", rng) {
-                    Delivery::Delivered(d) => max_extra = max_extra.max(d),
-                    Delivery::Dropped => continue,
+                match self.fanout_send(
+                    "replica_query",
+                    landing,
+                    member,
+                    start + latency,
+                    retry,
+                    net,
+                    rng,
+                ) {
+                    Some(d) => max_extra = max_extra.max(d),
+                    None => continue,
                 }
             }
             let items: Vec<Complaint> = self
